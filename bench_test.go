@@ -1,0 +1,336 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Simulated cycles and overhead percentages are reported as
+// custom metrics (sim_cycles, overhead_pct); wall-clock time measures this
+// implementation, not the simulated machine.
+//
+// Run: go test -bench=. -benchmem
+package teapot_test
+
+import (
+	"testing"
+
+	"teapot/internal/bench"
+	"teapot/internal/core"
+	"teapot/internal/mc"
+	"teapot/internal/protocols/bufwrite"
+	"teapot/internal/protocols/lcm"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/runtime"
+	"teapot/internal/sim"
+	"teapot/internal/tempest"
+)
+
+// benchNodes/benchIters size the benchmark machine. The paper used a
+// 32-node CM-5; 32 nodes is the default here too.
+const (
+	benchNodes = 32
+	benchIters = 4
+)
+
+// --- Table 1: Stache performance (one benchmark per paper row) ---
+
+func benchStacheWorkload(b *testing.B, mkWorkload func() *sim.Workload) {
+	flavors := []struct {
+		name string
+		mk   func(p *runtime.Protocol, w *sim.Workload, m runtime.Machine) tempest.Engine
+		opt  bool
+	}{
+		{"CStateMachine", func(p *runtime.Protocol, w *sim.Workload, m runtime.Machine) tempest.Engine {
+			return stache.NewHW(p, benchNodes, w.Blocks, m)
+		}, true},
+		{"TeapotUnopt", func(p *runtime.Protocol, w *sim.Workload, m runtime.Machine) tempest.Engine {
+			return tempest.NewTeapotEngine(p, benchNodes, w.Blocks, m, stache.MustSupport(p))
+		}, false},
+		{"TeapotOpt", func(p *runtime.Protocol, w *sim.Workload, m runtime.Machine) tempest.Engine {
+			return tempest.NewTeapotEngine(p, benchNodes, w.Blocks, m, stache.MustSupport(p))
+		}, true},
+	}
+	var baseline int64
+	for _, f := range flavors {
+		f := f
+		b.Run(f.name, func(b *testing.B) {
+			p := stache.MustCompile(f.opt).Protocol
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				w := mkWorkload()
+				stats, err := sim.Run(sim.Config{
+					Nodes: benchNodes, Blocks: w.Blocks,
+					Cost: tempest.DefaultCost, Tags: tempest.ResolveTags(p),
+					MakeEngine: func(m runtime.Machine) tempest.Engine { return f.mk(p, w, m) },
+					Program:    w.Trace,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = stats.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim_cycles")
+			if f.name == "CStateMachine" {
+				baseline = cycles
+			} else if baseline > 0 {
+				b.ReportMetric(100*float64(cycles-baseline)/float64(baseline), "overhead_pct")
+			}
+		})
+	}
+}
+
+func BenchmarkTable1Gauss(b *testing.B) {
+	benchStacheWorkload(b, func() *sim.Workload {
+		return sim.Gauss(sim.WorkloadSpec{Nodes: benchNodes, Iters: benchIters, Seed: 11})
+	})
+}
+
+func BenchmarkTable1Appbt(b *testing.B) {
+	benchStacheWorkload(b, func() *sim.Workload {
+		return sim.Appbt(sim.WorkloadSpec{Nodes: benchNodes, Iters: benchIters, Seed: 22})
+	})
+}
+
+func BenchmarkTable1Shallow(b *testing.B) {
+	benchStacheWorkload(b, func() *sim.Workload {
+		return sim.Shallow(sim.WorkloadSpec{Nodes: benchNodes, Iters: benchIters, Seed: 33})
+	})
+}
+
+func BenchmarkTable1Mp3d(b *testing.B) {
+	benchStacheWorkload(b, func() *sim.Workload {
+		return sim.Mp3d(sim.WorkloadSpec{Nodes: benchNodes, Iters: benchIters * 4, Seed: 44})
+	})
+}
+
+// --- Table 2: LCM performance ---
+
+func benchLCMWorkload(b *testing.B, mkWorkload func() *sim.Workload) {
+	flavors := []struct {
+		name string
+		hw   bool
+		opt  bool
+	}{
+		{"CStateMachine", true, true},
+		{"TeapotUnopt", false, false},
+		{"TeapotOpt", false, true},
+	}
+	var baseline int64
+	for _, f := range flavors {
+		f := f
+		b.Run(f.name, func(b *testing.B) {
+			p := lcm.MustCompile(lcm.Base, f.opt).Protocol
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				w := mkWorkload()
+				stats, err := sim.Run(sim.Config{
+					Nodes: benchNodes, Blocks: w.Blocks,
+					Cost: tempest.DefaultCost, Tags: tempest.ResolveTags(p),
+					MakeEngine: func(m runtime.Machine) tempest.Engine {
+						if f.hw {
+							return lcm.NewHW(p, benchNodes, w.Blocks, m)
+						}
+						return tempest.NewTeapotEngine(p, benchNodes, w.Blocks, m, lcm.MustSupport(p, benchNodes))
+					},
+					Program: w.Trace,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = stats.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim_cycles")
+			if f.name == "CStateMachine" {
+				baseline = cycles
+			} else if baseline > 0 {
+				b.ReportMetric(100*float64(cycles-baseline)/float64(baseline), "overhead_pct")
+			}
+		})
+	}
+}
+
+func BenchmarkTable2Adaptive(b *testing.B) {
+	benchLCMWorkload(b, func() *sim.Workload {
+		return sim.Adaptive(sim.WorkloadSpec{Nodes: benchNodes, Iters: benchIters, Seed: 55})
+	})
+}
+
+func BenchmarkTable2Stencil(b *testing.B) {
+	benchLCMWorkload(b, func() *sim.Workload {
+		return sim.Stencil(sim.WorkloadSpec{Nodes: benchNodes, Iters: benchIters, Seed: 66})
+	})
+}
+
+func BenchmarkTable2Unstruct(b *testing.B) {
+	benchLCMWorkload(b, func() *sim.Workload {
+		return sim.Unstruct(sim.WorkloadSpec{Nodes: benchNodes, Iters: benchIters, Seed: 77})
+	})
+}
+
+// --- Table 3: verification times ---
+
+func benchVerify(b *testing.B, cfg func() mc.Config) {
+	var states int
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violation != nil {
+			b.Fatalf("violation: %s", res.Violation)
+		}
+		states = res.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+func BenchmarkTable3Stache(b *testing.B) {
+	benchVerify(b, func() mc.Config {
+		a := stache.MustCompile(true)
+		return mc.Config{Proto: a.Protocol, Support: stache.MustSupport(a.Protocol),
+			Nodes: 2, Blocks: 1, Reorder: 1,
+			Events: stache.NewEvents(a.Protocol), CheckCoherence: true}
+	})
+}
+
+func BenchmarkTable3StacheTwoBlocks(b *testing.B) {
+	benchVerify(b, func() mc.Config {
+		a := stache.MustCompile(true)
+		return mc.Config{Proto: a.Protocol, Support: stache.MustSupport(a.Protocol),
+			Nodes: 2, Blocks: 2,
+			Events: stache.NewEvents(a.Protocol), CheckCoherence: true}
+	})
+}
+
+func BenchmarkTable3BufferedWrite(b *testing.B) {
+	benchVerify(b, func() mc.Config {
+		a := bufwrite.MustCompile(true)
+		return mc.Config{Proto: a.Protocol, Support: bufwrite.MustSupport(a.Protocol),
+			Nodes: 2, Blocks: 1, Reorder: 1,
+			Events: bufwrite.NewEvents(a.Protocol), CheckCoherence: true}
+	})
+}
+
+func BenchmarkTable3LCMSimple(b *testing.B) {
+	benchVerify(b, func() mc.Config {
+		a := lcm.MustCompile(lcm.Base, true)
+		return mc.Config{Proto: a.Protocol, Support: lcm.MustSupport(a.Protocol, 2),
+			Nodes: 2, Blocks: 1, Reorder: 1,
+			Events: lcm.NewEvents(a.Protocol)}
+	})
+}
+
+func BenchmarkTable3LCMMCC(b *testing.B) {
+	benchVerify(b, func() mc.Config {
+		a := lcm.MustCompile(lcm.MCC, true)
+		return mc.Config{Proto: a.Protocol, Support: lcm.MustSupport(a.Protocol, 2),
+			Nodes: 2, Blocks: 1, Reorder: 1,
+			Events: lcm.NewEvents(a.Protocol)}
+	})
+}
+
+// BenchmarkTable3BugHunt measures finding the seeded §7 deadlock.
+func BenchmarkTable3BugHunt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.BugHunt()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violation == nil {
+			b.Fatal("bug not found")
+		}
+	}
+}
+
+// --- Figures 1, 2, 4: state machine extraction ---
+
+func BenchmarkFigures(b *testing.B) {
+	var figs []bench.FigureRow
+	for i := 0; i < b.N; i++ {
+		figs = bench.Figures()
+	}
+	b.ReportMetric(float64(figs[0].States), "fig1_states")
+	b.ReportMetric(float64(figs[1].States), "fig2_states")
+	b.ReportMetric(float64(figs[2].States), "fig4_states")
+}
+
+// --- Compiler and VM micro-benchmarks ---
+
+func BenchmarkCompileStache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := stache.Compile(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileLCM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lcm.Compile(lcm.Base, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHandlerDispatch measures one fault-to-completion protocol
+// round trip through the interpreter (compare the paper's handler-cost
+// discussion in §6).
+func BenchmarkHandlerDispatch(b *testing.B) {
+	a := stache.MustCompile(true)
+	w := sim.Gauss(sim.WorkloadSpec{Nodes: 4, Iters: 1, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		w.Trace.Reset()
+		_, err := sim.Run(sim.Config{
+			Nodes: 4, Blocks: w.Blocks,
+			Cost: tempest.DefaultCost, Tags: tempest.ResolveTags(a.Protocol),
+			MakeEngine: func(m runtime.Machine) tempest.Engine {
+				return tempest.NewTeapotEngine(a.Protocol, 4, w.Blocks, m, stache.MustSupport(a.Protocol))
+			},
+			Program: w.Trace,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: liveness analysis off (continuations save every register) ---
+
+func BenchmarkAblationNoLiveness(b *testing.B) {
+	art, err := core.Compile(core.Config{
+		Name: "stache.tea", Source: stache.Source,
+		NoLiveness: true,
+		HomeStart:  "Home_Idle", CacheStart: "Cache_Inv",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := sim.Gauss(sim.WorkloadSpec{Nodes: benchNodes, Iters: benchIters, Seed: 11})
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		w.Trace.Reset()
+		stats, err := sim.Run(sim.Config{
+			Nodes: benchNodes, Blocks: w.Blocks,
+			Cost: tempest.DefaultCost, Tags: tempest.ResolveTags(art.Protocol),
+			MakeEngine: func(m runtime.Machine) tempest.Engine {
+				return tempest.NewTeapotEngine(art.Protocol, benchNodes, w.Blocks, m, stache.MustSupport(art.Protocol))
+			},
+			Program: w.Trace,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = stats.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
+// BenchmarkProducerConsumer reproduces §1's motivation with the extra
+// write-update protocol.
+func BenchmarkProducerConsumer(b *testing.B) {
+	var rows []bench.ProducerConsumerRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.ProducerConsumer(benchNodes, benchIters)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Messages), "invalidate_msgs")
+	b.ReportMetric(float64(rows[1].Messages), "update_msgs")
+}

@@ -1,0 +1,101 @@
+// Teapot-sim runs one benchmark workload on the simulated Tempest machine
+// under a chosen protocol engine and prints the run statistics.
+//
+// Usage:
+//
+//	teapot-sim -workload gauss -nodes 32 -engine opt
+//	teapot-sim -workload stencil -engine hw      # hand-written LCM baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"teapot/internal/protocols/lcm"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/runtime"
+	"teapot/internal/sim"
+	"teapot/internal/tempest"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "gauss", "gauss | appbt | shallow | mp3d | adaptive | stencil | unstruct | prodcons")
+		nodes    = flag.Int("nodes", 32, "number of nodes")
+		iters    = flag.Int("iters", 4, "workload iterations")
+		engine   = flag.String("engine", "opt", "hw (hand-written) | unopt | opt")
+	)
+	flag.Parse()
+
+	spec := sim.WorkloadSpec{Nodes: *nodes, Iters: *iters, Seed: 99}
+	var w *sim.Workload
+	isLCM := false
+	switch *workload {
+	case "gauss":
+		w = sim.Gauss(spec)
+	case "appbt":
+		w = sim.Appbt(spec)
+	case "shallow":
+		w = sim.Shallow(spec)
+	case "mp3d":
+		spec.Iters *= 4
+		w = sim.Mp3d(spec)
+	case "prodcons":
+		w = sim.ProdCons(spec)
+	case "adaptive":
+		w, isLCM = sim.Adaptive(spec), true
+	case "stencil":
+		w, isLCM = sim.Stencil(spec), true
+	case "unstruct":
+		w, isLCM = sim.Unstruct(spec), true
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	optimize := *engine != "unopt"
+	var mk func(m runtime.Machine) tempest.Engine
+	var tags tempest.EventTags
+	if isLCM {
+		p := lcm.MustCompile(lcm.Base, optimize).Protocol
+		tags = tempest.ResolveTags(p)
+		mk = func(m runtime.Machine) tempest.Engine {
+			if *engine == "hw" {
+				return lcm.NewHW(p, *nodes, w.Blocks, m)
+			}
+			return tempest.NewTeapotEngine(p, *nodes, w.Blocks, m, lcm.MustSupport(p, *nodes))
+		}
+	} else {
+		p := stache.MustCompile(optimize).Protocol
+		tags = tempest.ResolveTags(p)
+		mk = func(m runtime.Machine) tempest.Engine {
+			if *engine == "hw" {
+				return stache.NewHW(p, *nodes, w.Blocks, m)
+			}
+			return tempest.NewTeapotEngine(p, *nodes, w.Blocks, m, stache.MustSupport(p))
+		}
+	}
+
+	stats, err := sim.Run(sim.Config{
+		Nodes: *nodes, Blocks: w.Blocks,
+		Cost: tempest.DefaultCost, Tags: tags,
+		MakeEngine: mk, Program: w.Trace,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload %s (%d nodes, %d blocks, engine %s)\n", w.Name, *nodes, w.Blocks, *engine)
+	fmt.Printf("  execution time: %d cycles\n", stats.Cycles)
+	fmt.Printf("  accesses: %d   faults: %d   messages: %d\n", stats.Accesses, stats.Faults, stats.Messages)
+	fmt.Printf("  fault time: %d cycles (%.0f%% of node-cycles)\n", stats.FaultTime,
+		100*float64(stats.FaultTime)/float64(stats.Cycles*int64(*nodes)))
+	fmt.Printf("  protocol: %d handlers, %d statements, %d cycles\n",
+		stats.Protocol.Handlers, stats.Protocol.Instrs, stats.ProtoTime)
+	fmt.Printf("  continuations: %d heap, %d static; queue records: %d\n",
+		stats.Protocol.HeapConts, stats.Protocol.StaticConts, stats.Protocol.QueueRecords)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "teapot-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Teapotc is the Teapot compiler driver: it parses and checks a protocol
+// specification and emits any of the back-end artifacts — executable Go
+// (the paper's C target), a Murphi verification model (§7), a Graphviz
+// state-machine rendering, the IR listing, or a reformatted source.
+//
+// Usage:
+//
+//	teapotc [flags] file.tea
+//	teapotc -builtin stache -emit go
+//
+// Flags:
+//
+//	-builtin name   use a bundled protocol (stache, stache-cas, stache-buggy,
+//	                lcm, lcm-update, lcm-mcc, lcm-both, bufwrite, update)
+//	-emit kind      go | murphi | dot | ir | fmt | stats (default stats)
+//	-O              enable the constant-continuation optimization (default on)
+//	-pkg name       package name for -emit go (default "proto")
+//	-dot-prefix s   state-name filter for -emit dot ("Cache_", "Home_")
+//	-dot-ideal      elide transient states (Figures 1 and 2)
+//	-o file         output file (default stdout)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"teapot/internal/ast"
+	"teapot/internal/codegen"
+	"teapot/internal/cont"
+	"teapot/internal/core"
+	"teapot/internal/dot"
+	"teapot/internal/murphi"
+	"teapot/internal/protocols/bufwrite"
+	"teapot/internal/protocols/lcm"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/protocols/update"
+)
+
+func main() {
+	var (
+		builtin    = flag.String("builtin", "", "use a bundled protocol instead of a source file")
+		emit       = flag.String("emit", "stats", "artifact to emit: go|murphi|dot|ir|fmt|stats")
+		optimize   = flag.Bool("O", true, "enable the constant-continuation optimization")
+		pkg        = flag.String("pkg", "proto", "package name for -emit go")
+		dotPrefix  = flag.String("dot-prefix", "", "state-name prefix filter for -emit dot")
+		dotIdeal   = flag.Bool("dot-ideal", false, "elide transient states in -emit dot")
+		outFile    = flag.String("o", "", "output file (default stdout)")
+		homeStart  = flag.String("home-start", "Home_Idle", "initial home-side state")
+		cacheStart = flag.String("cache-start", "Cache_Inv", "initial cache-side state")
+	)
+	flag.Parse()
+
+	src, name, err := loadSource(*builtin, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	art, err := core.Compile(core.Config{
+		Name: name, Source: src, Optimize: *optimize,
+		HomeStart: *homeStart, CacheStart: *cacheStart,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var out string
+	switch *emit {
+	case "go":
+		out = codegen.Generate(art.IR, *pkg)
+	case "murphi":
+		out = murphi.Generate(art.IR, murphi.Options{})
+	case "dot":
+		m := dot.Extract(art.IR, dot.Options{Prefix: *dotPrefix, IncludeTransient: !*dotIdeal})
+		out = dot.Render(m, name)
+	case "ir":
+		for _, f := range art.IR.Funcs {
+			out += f.Disassemble() + "\n"
+		}
+	case "fmt":
+		out = ast.Print(art.AST)
+	case "stats":
+		out = stats(art)
+	default:
+		fatal(fmt.Errorf("unknown -emit kind %q", *emit))
+	}
+
+	if *outFile == "" {
+		fmt.Print(out)
+		return
+	}
+	if err := os.WriteFile(*outFile, []byte(out), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func loadSource(builtin string, args []string) (src, name string, err error) {
+	switch builtin {
+	case "stache":
+		return stache.Source, "stache.tea", nil
+	case "stache-cas":
+		return stache.CASSource, "stache-cas.tea", nil
+	case "stache-buggy":
+		return stache.BuggySource, "stache-buggy.tea", nil
+	case "lcm":
+		return lcm.Source(lcm.Base), "lcm.tea", nil
+	case "lcm-update":
+		return lcm.Source(lcm.Update), "lcm-update.tea", nil
+	case "lcm-mcc":
+		return lcm.Source(lcm.MCC), "lcm-mcc.tea", nil
+	case "lcm-both":
+		return lcm.Source(lcm.Both), "lcm-both.tea", nil
+	case "bufwrite":
+		return bufwrite.Source, "bufwrite.tea", nil
+	case "update":
+		return update.Source, "update.tea", nil
+	case "":
+		if len(args) != 1 {
+			return "", "", fmt.Errorf("usage: teapotc [flags] file.tea (or -builtin name)")
+		}
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return "", "", err
+		}
+		return string(b), args[0], nil
+	}
+	return "", "", fmt.Errorf("unknown builtin %q", builtin)
+}
+
+func stats(art *core.Artifacts) string {
+	sp := art.Sema
+	st := art.Stats
+	out := fmt.Sprintf("protocol %s\n", sp.ProtoName)
+	out += fmt.Sprintf("  states:    %d (%d transient)\n", len(sp.States), countTransient(art))
+	out += fmt.Sprintf("  messages:  %d\n", len(sp.Messages))
+	out += fmt.Sprintf("  handlers:  %d\n", sp.NumHandlers())
+	out += fmt.Sprintf("  suspend sites: %d (static %d, constant %d, dynamic %d, max saved %d)\n",
+		st.Sites, st.Static, st.Constant, st.Dynamic, st.MaxSaved)
+	out += fmt.Sprintf("  options:   %+v\n", cont.Options{Liveness: true, ConstCont: art.Protocol.Opts.ConstCont})
+	return out
+}
+
+func countTransient(art *core.Artifacts) int {
+	n := 0
+	for _, s := range art.Sema.States {
+		if s.Transient {
+			n++
+		}
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "teapotc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package teapot is a Go reproduction of "Teapot: Language Support for
+// Writing Memory Coherence Protocols" (Chandra, Richards & Larus,
+// PLDI 1996): a domain-specific language with continuations for writing
+// shared-memory coherence protocols, a compiler that turns suspending
+// handlers into atomically executable fragments, dual back-ends (an
+// executable protocol and a model-checking target), a Tempest-style
+// simulated multiprocessor to run protocols on, and the Stache, LCM, and
+// Buffered-write protocols from the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced tables and figures. The public entry
+// point is internal/core.Compile; the runnable examples live under
+// examples/.
+package teapot

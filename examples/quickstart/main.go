@@ -1,0 +1,183 @@
+// Quickstart: write a tiny MSI-style coherence protocol in Teapot, compile
+// it, and run it on a three-node loopback machine.
+//
+//	go run ./examples/quickstart
+//
+// The protocol demonstrates the language's core idea: the read-miss
+// handler *suspends* mid-handler while the home node replies, instead of
+// being split into hand-managed intermediate states.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teapot/internal/core"
+	"teapot/internal/runtime"
+	"teapot/internal/sema"
+	"teapot/internal/vm"
+)
+
+const protocol = `
+protocol MSI begin
+  var readers : int;
+
+  state C_Invalid();
+  state C_Shared();
+  state C_Fill(K : CONT) transient;
+  state H_Idle();
+  state H_Shared();
+
+  message RD_FAULT;
+  message GET_REQ;
+  message GET_RESP;
+end;
+
+state MSI.C_Invalid()
+begin
+  message RD_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_REQ, id);
+    Suspend(L, C_Fill{L});      -- wait for the data, right here
+    WakeUp(id);                 -- ...and continue after it arrives
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("unexpected %s in C_Invalid", Msg_To_Str(MessageTag));
+  end;
+end;
+
+state MSI.C_Fill(K : CONT)
+begin
+  message GET_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RecvData(id, Blk_ReadOnly);
+    SetState(info, C_Shared{});
+    Resume(K);
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state MSI.C_Shared()
+begin
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("unexpected %s in C_Shared", Msg_To_Str(MessageTag));
+  end;
+end;
+
+state MSI.H_Idle()
+begin
+  message GET_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(src, GET_RESP, id);
+    readers := readers + 1;
+    SetState(info, H_Shared{});
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("unexpected %s in H_Idle", Msg_To_Str(MessageTag));
+  end;
+end;
+
+state MSI.H_Shared()
+begin
+  message GET_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(src, GET_RESP, id);
+    readers := readers + 1;
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("unexpected %s in H_Shared", Msg_To_Str(MessageTag));
+  end;
+end;
+`
+
+// loopback is a minimal runtime.Machine: messages go into a FIFO the main
+// loop pumps.
+type loopback struct {
+	engines []*runtime.Engine
+	queue   []func() error
+}
+
+func (m *loopback) Send(from, dst int, msg *runtime.Message) {
+	e := m.engines[dst]
+	m.queue = append(m.queue, func() error { return e.Deliver(msg) })
+}
+func (m *loopback) AccessChange(node, id int, mode sema.AccessMode) {
+	fmt.Printf("    [tempest] node %d block %d access -> %s\n", node, id, mode)
+}
+func (m *loopback) RecvData(node, id int, mode sema.AccessMode) {
+	fmt.Printf("    [tempest] node %d block %d data installed (%s)\n", node, id, mode)
+}
+func (m *loopback) WakeUp(node, id int) {
+	fmt.Printf("    [tempest] node %d resumes after fault on block %d\n", node, id)
+}
+func (m *loopback) HomeNode(id int) int      { return 0 }
+func (m *loopback) Print(node int, s string) { fmt.Printf("    [print %d] %s\n", node, s) }
+func (m *loopback) pump() error {
+	for len(m.queue) > 0 {
+		next := m.queue[0]
+		m.queue = m.queue[1:]
+		if err := next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type noSupport struct{}
+
+func (noSupport) Call(*runtime.Ctx, string, []*vm.Value) (vm.Value, error) {
+	return vm.Value{}, fmt.Errorf("no support routines in this protocol")
+}
+func (noSupport) ModConst(*runtime.Ctx, string) vm.Value { return vm.Value{} }
+
+func main() {
+	art, err := core.Compile(core.Config{
+		Name:       "msi.tea",
+		Source:     protocol,
+		Optimize:   true,
+		HomeStart:  "H_Idle",
+		CacheStart: "C_Invalid",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %s: %d states, %d handlers, %d suspend site(s)\n\n",
+		art.Sema.ProtoName, len(art.Sema.States), art.Sema.NumHandlers(), art.Stats.Sites)
+
+	m := &loopback{}
+	for n := 0; n < 3; n++ {
+		m.engines = append(m.engines, runtime.NewEngine(art.Protocol, n, 1, m, noSupport{}))
+	}
+
+	for _, reader := range []int{1, 2} {
+		fmt.Printf("node %d reads block 0 (faults):\n", reader)
+		if err := m.engines[reader].InjectEvent(art.Protocol.MsgIndex("RD_FAULT"), 0); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.pump(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\nfinal states:")
+	for n, e := range m.engines {
+		fmt.Printf("  node %d: %s\n", n, e.Blocks[0].StateName(art.Protocol))
+	}
+	readersSlot := -1
+	for _, v := range art.Sema.ProtVars {
+		if v.Name == "readers" {
+			readersSlot = v.Index
+		}
+	}
+	fmt.Printf("  home counted %d readers\n", m.engines[0].Blocks[0].Vars[readersSlot].Int)
+	c := m.engines[1].Counters()
+	fmt.Printf("\nnode 1 protocol work: %d handlers, %d instructions, %d static + %d heap continuations\n",
+		c.Handlers, c.Instrs, c.StaticConts, c.HeapConts)
+}

@@ -1,0 +1,62 @@
+// Verification: the paper's §7 story — model checking finds a deadlock in
+// a Stache variant that mishandles the upgrade/invalidate race, producing
+// the event trace that explains it; the fixed protocol then verifies
+// clean, including on a reordering network.
+//
+//	go run ./examples/verification
+//
+// (The paper: "It even uncovered an unsuspected protocol bug in a heavily
+// used implementation of the Stache protocol, which could occur under a
+// particular interleaving of messages in the network.")
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teapot/internal/mc"
+	"teapot/internal/protocols/stache"
+)
+
+func main() {
+	fmt.Println("== 1. The buggy protocol ==")
+	fmt.Println("A node waiting for an upgrade merely queues the home's")
+	fmt.Println("invalidation instead of acknowledging it. Exploring...")
+	buggy, err := stache.CompileBuggy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mc.Check(mc.Config{
+		Proto: buggy, Support: stache.MustSupport(buggy),
+		Nodes: 2, Blocks: 1,
+		Events: stache.NewEvents(buggy), CheckCoherence: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Violation == nil {
+		log.Fatal("expected a violation")
+	}
+	fmt.Printf("\nfound after %d states (%s):\n%s\n", res.States, res.Elapsed, res.Violation)
+
+	fmt.Println("== 2. The fixed protocol ==")
+	fixed := stache.MustCompile(true)
+	for _, reorder := range []int{0, 1} {
+		res, err := mc.Check(mc.Config{
+			Proto: fixed.Protocol, Support: stache.MustSupport(fixed.Protocol),
+			Nodes: 2, Blocks: 1, Reorder: reorder,
+			Events: stache.NewEvents(fixed.Protocol), CheckCoherence: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "verified"
+		if res.Violation != nil {
+			status = "VIOLATION:\n" + res.Violation.String()
+		}
+		fmt.Printf("reorder=%d: %d states, %d transitions in %s — %s\n",
+			reorder, res.States, res.Transitions, res.Elapsed, status)
+	}
+	fmt.Println("\nThe same compiled protocol object runs in the simulator and")
+	fmt.Println("is explored by the checker — the paper's single-source claim.")
+}

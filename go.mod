@@ -1,0 +1,3 @@
+module teapot
+
+go 1.22

@@ -1,0 +1,172 @@
+// Integration tests driving the command-line tools end to end via the Go
+// toolchain. Skipped with -short.
+package teapot_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestTeapotcStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	out, err := runTool(t, "./cmd/teapotc", "-builtin", "stache", "-emit", "stats")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"protocol Stache", "states:", "suspend sites:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTeapotcEmitsAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	cases := map[string]string{
+		"go":     "package proto",
+		"murphi": "Murphi specification",
+		"dot":    "digraph",
+		"ir":     "func ",
+		"fmt":    "protocol Stache begin",
+	}
+	for emit, want := range cases {
+		out, err := runTool(t, "./cmd/teapotc", "-builtin", "stache", "-emit", emit)
+		if err != nil {
+			t.Fatalf("-emit %s: %v\n%s", emit, err, out)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("-emit %s missing %q", emit, want)
+		}
+	}
+}
+
+func TestTeapotcCompilesAFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	dir := t.TempDir()
+	src := `
+protocol Mini begin
+  state A();
+  message M;
+end;
+state Mini.A() begin
+  message M (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+end;
+`
+	path := filepath.Join(dir, "mini.tea")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runTool(t, "./cmd/teapotc", "-home-start", "A", "-cache-start", "A", path)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "protocol Mini") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestTeapotcRejectsBadSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.tea")
+	if err := os.WriteFile(path, []byte("protocol P begin end"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runTool(t, "./cmd/teapotc", path)
+	if err == nil {
+		t.Fatalf("expected failure, got:\n%s", out)
+	}
+	if !strings.Contains(out, "teapotc:") {
+		t.Errorf("no diagnostic:\n%s", out)
+	}
+}
+
+func TestVerifyCleanAndBuggy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	out, err := runTool(t, "./cmd/teapot-verify", "-protocol", "stache", "-reorder", "1")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "verified") {
+		t.Errorf("output:\n%s", out)
+	}
+	out, err = runTool(t, "./cmd/teapot-verify", "-protocol", "stache-buggy")
+	if err == nil {
+		t.Fatalf("buggy protocol should exit non-zero:\n%s", out)
+	}
+	if !strings.Contains(out, "VIOLATION") || !strings.Contains(out, "deadlock") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestSimTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	out, err := runTool(t, "./cmd/teapot-sim", "-workload", "shallow", "-nodes", "8", "-iters", "2", "-engine", "opt")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"execution time:", "faults:", "continuations:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchToolTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	out, err := runTool(t, "./cmd/teapot-bench", "-table", "3")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"Table 3", "Stache", "LCM MCC", "verified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	cases := map[string]string{
+		"./examples/quickstart":      "final states:",
+		"./examples/custom-protocol": "outcome = true",
+		"./examples/verification":    "verified",
+		"./examples/lcm-phases":      "LCM",
+	}
+	for dir, want := range cases {
+		out, err := runTool(t, dir)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", dir, err, out)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("%s output missing %q", dir, want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"teapot/internal/token"
+)
+
+// Print renders a Program back into canonical Teapot source. Parsing the
+// output yields a structurally identical tree (round-trip property, tested in
+// the parser package).
+func Print(p *Program) string {
+	var pr printer
+	for _, m := range p.Modules {
+		pr.module(m)
+	}
+	if p.Protocol != nil {
+		pr.protocol(p.Protocol)
+	}
+	for _, s := range p.States {
+		pr.state(s)
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) module(m *Module) {
+	p.line("module %s begin", m.Name)
+	p.indent++
+	for _, d := range m.Decls {
+		switch d := d.(type) {
+		case *TypeDecl:
+			p.line("type %s;", d.Name)
+		case *ModConstDecl:
+			p.line("const %s : %s;", d.Name, d.Type)
+		case *SubDecl:
+			if d.Result != nil {
+				p.line("function %s(%s) : %s;", d.Name, params(d.Params), d.Result)
+			} else {
+				p.line("procedure %s(%s);", d.Name, params(d.Params))
+			}
+		}
+	}
+	p.indent--
+	p.line("end;")
+	p.line("")
+}
+
+func (p *printer) protocol(pr *Protocol) {
+	p.line("protocol %s begin", pr.Name)
+	p.indent++
+	for _, d := range pr.Decls {
+		switch d := d.(type) {
+		case *ProtVarDecl:
+			p.line("var %s : %s;", d.Name, d.Type)
+		case *ProtConstDecl:
+			p.line("const %s := %s;", d.Name, ExprString(d.Value))
+		case *StateDecl:
+			t := ""
+			if d.Transient {
+				t = " transient"
+			}
+			p.line("state %s(%s)%s;", d.Name, params(d.Params), t)
+		case *MessageDecl:
+			p.line("message %s;", d.Name)
+		}
+	}
+	p.indent--
+	p.line("end;")
+	p.line("")
+}
+
+func (p *printer) state(s *State) {
+	qual := ""
+	if s.Proto != nil {
+		qual = s.Proto.Name + "."
+	}
+	p.line("state %s%s(%s) begin", qual, s.Name, params(s.Params))
+	p.indent++
+	for _, h := range s.Handlers {
+		p.handler(h)
+	}
+	p.indent--
+	p.line("end;")
+	p.line("")
+}
+
+func (p *printer) handler(h *Handler) {
+	p.line("message %s(%s)", h.Name, params(h.Params))
+	if len(h.Locals) > 0 {
+		p.indent++
+		p.line("var")
+		p.indent++
+		for _, g := range h.Locals {
+			p.line("%s : %s;", idents(g.Names), g.Type)
+		}
+		p.indent -= 2
+	}
+	p.line("begin")
+	p.indent++
+	p.stmts(h.Body)
+	p.indent--
+	p.line("end;")
+}
+
+func (p *printer) stmts(list []Stmt) {
+	for _, s := range list {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *IfStmt:
+		p.line("if (%s) then", ExprString(s.Cond))
+		p.indent++
+		p.stmts(s.Then)
+		p.indent--
+		if len(s.Else) > 0 {
+			p.line("else")
+			p.indent++
+			p.stmts(s.Else)
+			p.indent--
+		}
+		p.line("endif;")
+	case *WhileStmt:
+		p.line("while (%s) do", ExprString(s.Cond))
+		p.indent++
+		p.stmts(s.Body)
+		p.indent--
+		p.line("end;")
+	case *CallStmt:
+		p.line("%s;", ExprString(s.Call))
+	case *AssignStmt:
+		p.line("%s := %s;", s.LHS, ExprString(s.RHS))
+	case *SuspendStmt:
+		p.line("suspend(%s, %s);", s.Cont, ExprString(s.Target))
+	case *ResumeStmt:
+		p.line("resume(%s);", ExprString(s.Cont))
+	case *ReturnStmt:
+		if s.Value != nil {
+			p.line("return %s;", ExprString(s.Value))
+		} else {
+			p.line("return;")
+		}
+	case *PrintStmt:
+		p.line("print(%s);", exprList(s.Args))
+	default:
+		p.line("-- <unknown stmt %T>", s)
+	}
+}
+
+func params(list []*Param) string {
+	var parts []string
+	for _, g := range list {
+		s := ""
+		if g.ByRef {
+			s = "var "
+		}
+		parts = append(parts, s+idents(g.Names)+" : "+g.Type.Name)
+	}
+	return strings.Join(parts, "; ")
+}
+
+func idents(names []*Ident) string {
+	var parts []string
+	for _, n := range names {
+		parts = append(parts, n.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func exprList(args []Expr) string {
+	var parts []string
+	for _, a := range args {
+		parts = append(parts, ExprString(a))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExprString renders an expression as Teapot source.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *StringLit:
+		return fmt.Sprintf("%q", e.Value)
+	case *Name:
+		return e.Ident.Name
+	case *CallExpr:
+		return fmt.Sprintf("%s(%s)", e.Func, exprList(e.Args))
+	case *StateExpr:
+		return fmt.Sprintf("%s{%s}", e.Name, exprList(e.Args))
+	case *BinExpr:
+		op := e.Op.String()
+		if e.Op == token.KWAND {
+			op = "and"
+		} else if e.Op == token.KWOR {
+			op = "or"
+		}
+		return fmt.Sprintf("%s %s %s", ExprString(e.X), op, ExprString(e.Y))
+	case *UnExpr:
+		if e.Op == token.KWNOT || e.Op == token.NOT {
+			return "not " + ExprString(e.X)
+		}
+		return e.Op.String() + ExprString(e.X)
+	case *ParenExpr:
+		return "(" + ExprString(e.X) + ")"
+	}
+	return fmt.Sprintf("<expr %T>", e)
+}

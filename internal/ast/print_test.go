@@ -1,0 +1,161 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"teapot/internal/ast"
+	"teapot/internal/parser"
+	"teapot/internal/protocols/bufwrite"
+	"teapot/internal/protocols/lcm"
+	"teapot/internal/protocols/stache"
+)
+
+// TestBundledProtocolsRoundTrip: parse → print → parse → print is a fixed
+// point for every bundled protocol source (formatter idempotence over the
+// full language surface actually in use).
+func TestBundledProtocolsRoundTrip(t *testing.T) {
+	sources := map[string]string{
+		"stache":     stache.Source,
+		"stache-cas": stache.CASSource,
+		"lcm":        lcm.Source(lcm.Base),
+		"lcm-both":   lcm.Source(lcm.Both),
+		"bufwrite":   bufwrite.Source,
+	}
+	for name, src := range sources {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			p1, err := parser.Parse(name, src)
+			if err != nil {
+				t.Fatalf("parse original: %v", err)
+			}
+			out1 := ast.Print(p1)
+			p2, err := parser.Parse(name+"-rt", out1)
+			if err != nil {
+				t.Fatalf("parse printed: %v", err)
+			}
+			out2 := ast.Print(p2)
+			if out1 != out2 {
+				t.Errorf("print not a fixed point for %s", name)
+			}
+		})
+	}
+}
+
+func TestExprString(t *testing.T) {
+	src := `
+protocol P begin
+  var n : int;
+  state S();
+  state W(C : CONT) transient;
+  message M;
+end;
+state P.S() begin
+  message M (id : ID; var info : INFO; src : NODE)
+  var x : int; b : bool;
+  begin
+    x := (1 + 2) * 3 - 4 / 5 % 6;
+    b := not (x = 7) and x <= 8 or x <> 9;
+    n := HomeNode(id) + 0;
+    SetState(info, W{NoCont()});
+  end;
+end;
+state P.W(C : CONT) begin
+  message M (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+end;
+`
+	prog, err := parser.Parse("e.tea", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err) // NoCont is unknown to sema, not the parser
+	}
+	out := ast.Print(prog)
+	for _, want := range []string{
+		"(1 + 2) * 3 - 4 / 5 % 6",
+		"not (x = 7) and x <= 8 or x <> 9",
+		"HomeNode(id) + 0",
+		"W{NoCont()}",
+		"suspend", // none expected; guard below flips
+	} {
+		if want == "suspend" {
+			if strings.Contains(out, "suspend(") {
+				t.Errorf("unexpected suspend in output")
+			}
+			continue
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWalkCoversNestedStatements(t *testing.T) {
+	src := `
+protocol P begin state S(); message M; end;
+state P.S() begin
+  message M (id : ID; var info : INFO; src : NODE)
+  var x : int;
+  begin
+    if (x = 0) then
+      while (x < 3) do
+        x := x + 1;
+        if (x = 2) then
+          print(x);
+        endif;
+      end;
+    else
+      x := 9;
+    endif;
+  end;
+end;
+`
+	prog, err := parser.Parse("w.tea", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts = map[string]int{}
+	ast.Walk(prog.States[0].Handlers[0].Body, func(s ast.Stmt) {
+		switch s.(type) {
+		case *ast.IfStmt:
+			counts["if"]++
+		case *ast.WhileStmt:
+			counts["while"]++
+		case *ast.AssignStmt:
+			counts["assign"]++
+		case *ast.PrintStmt:
+			counts["print"]++
+		}
+	})
+	if counts["if"] != 2 || counts["while"] != 1 || counts["assign"] != 2 || counts["print"] != 1 {
+		t.Errorf("walk counts = %v", counts)
+	}
+}
+
+func TestWalkExprs(t *testing.T) {
+	src := `
+protocol P begin state S(); message M; end;
+state P.S() begin
+  message M (id : ID; var info : INFO; src : NODE)
+  var x : int;
+  begin
+    x := (1 + 2) * HomeNode(id);
+  end;
+end;
+`
+	prog, err := parser.Parse("we.tea", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := prog.States[0].Handlers[0].Body[0].(*ast.AssignStmt)
+	var names, lits int
+	ast.WalkExprs(assign.RHS, func(e ast.Expr) {
+		switch e.(type) {
+		case *ast.Name:
+			names++
+		case *ast.IntLit:
+			lits++
+		}
+	})
+	if names != 1 || lits != 2 {
+		t.Errorf("names=%d lits=%d", names, lits)
+	}
+}

@@ -1,0 +1,416 @@
+// Package bench regenerates the paper's evaluation: Table 1 (Stache
+// performance), Table 2 (LCM performance), Table 3 (verification), the
+// Figure 1/2/4 state machines, and the §6 code-size comparison. It is
+// shared by the repository's testing.B benchmarks (bench_test.go) and the
+// teapot-bench command.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"teapot/internal/codegen"
+	"teapot/internal/core"
+	"teapot/internal/dot"
+	"teapot/internal/mc"
+	"teapot/internal/protocols/bufwrite"
+	"teapot/internal/protocols/lcm"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/protocols/update"
+	"teapot/internal/runtime"
+	"teapot/internal/sim"
+	"teapot/internal/tempest"
+)
+
+// PerfRow is one benchmark line of Table 1 or Table 2.
+type PerfRow struct {
+	Benchmark   string
+	C           int64 // hand-written state machine, cycles
+	Unopt       int64 // Teapot unoptimized
+	Opt         int64 // Teapot optimized
+	AllocsOpt   int64 // continuation + queue records, optimized
+	AllocsUnopt int64 // continuation + queue records, unoptimized
+	FaultPct    float64
+}
+
+// OverheadUnopt returns the unoptimized overhead in percent.
+func (r PerfRow) OverheadUnopt() float64 { return 100 * float64(r.Unopt-r.C) / float64(r.C) }
+
+// OverheadOpt returns the optimized overhead in percent.
+func (r PerfRow) OverheadOpt() float64 { return 100 * float64(r.Opt-r.C) / float64(r.C) }
+
+// run executes one engine flavor over a workload.
+func run(w *sim.Workload, nodes int, tags tempest.EventTags,
+	mk func(m runtime.Machine) tempest.Engine) (*tempest.Stats, error) {
+	w.Trace.Reset()
+	return sim.Run(sim.Config{
+		Nodes:      nodes,
+		Blocks:     w.Blocks,
+		Cost:       tempest.DefaultCost,
+		Tags:       tags,
+		MakeEngine: mk,
+		Program:    w.Trace,
+	})
+}
+
+func allocs(e *tempest.TeapotEngine, nodes int) int64 {
+	var total int64
+	for n := 0; n < nodes; n++ {
+		c := e.Counters(n)
+		total += c.HeapConts + c.QueueRecords
+	}
+	return total
+}
+
+// Table1 regenerates Table 1: Stache on gauss, appbt, shallow, mp3d.
+func Table1(nodes, iters int) ([]PerfRow, error) {
+	optArt := stache.MustCompile(true)
+	unoptArt := stache.MustCompile(false)
+	var rows []PerfRow
+	for _, w := range sim.Table1Workloads(nodes, iters) {
+		row := PerfRow{Benchmark: w.Name}
+		tags := tempest.ResolveTags(optArt.Protocol)
+
+		cs, err := run(w, nodes, tags, func(m runtime.Machine) tempest.Engine {
+			return stache.NewHW(optArt.Protocol, nodes, w.Blocks, m)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/C: %w", w.Name, err)
+		}
+		row.C = cs.Cycles
+		row.FaultPct = 100 * float64(cs.FaultTime) / float64(cs.Cycles*int64(nodes))
+
+		var optEng, unoptEng *tempest.TeapotEngine
+		os, err := run(w, nodes, tags, func(m runtime.Machine) tempest.Engine {
+			optEng = tempest.NewTeapotEngine(optArt.Protocol, nodes, w.Blocks, m, stache.MustSupport(optArt.Protocol))
+			return optEng
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/opt: %w", w.Name, err)
+		}
+		row.Opt = os.Cycles
+		row.AllocsOpt = allocs(optEng, nodes)
+
+		us, err := run(w, nodes, tags, func(m runtime.Machine) tempest.Engine {
+			unoptEng = tempest.NewTeapotEngine(unoptArt.Protocol, nodes, w.Blocks, m, stache.MustSupport(unoptArt.Protocol))
+			return unoptEng
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/unopt: %w", w.Name, err)
+		}
+		row.Unopt = us.Cycles
+		row.AllocsUnopt = allocs(unoptEng, nodes)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table2 regenerates Table 2: LCM on adaptive, stencil, unstruct.
+func Table2(nodes, iters int) ([]PerfRow, error) {
+	optArt := lcm.MustCompile(lcm.Base, true)
+	unoptArt := lcm.MustCompile(lcm.Base, false)
+	var rows []PerfRow
+	for _, w := range sim.Table2Workloads(nodes, iters) {
+		row := PerfRow{Benchmark: w.Name}
+		tags := tempest.ResolveTags(optArt.Protocol)
+
+		cs, err := run(w, nodes, tags, func(m runtime.Machine) tempest.Engine {
+			return lcm.NewHW(optArt.Protocol, nodes, w.Blocks, m)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/C: %w", w.Name, err)
+		}
+		row.C = cs.Cycles
+		row.FaultPct = 100 * float64(cs.FaultTime) / float64(cs.Cycles*int64(nodes))
+
+		var optEng, unoptEng *tempest.TeapotEngine
+		os, err := run(w, nodes, tags, func(m runtime.Machine) tempest.Engine {
+			optEng = tempest.NewTeapotEngine(optArt.Protocol, nodes, w.Blocks, m, lcm.MustSupport(optArt.Protocol, nodes))
+			return optEng
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/opt: %w", w.Name, err)
+		}
+		row.Opt = os.Cycles
+		row.AllocsOpt = allocs(optEng, nodes)
+
+		us, err := run(w, nodes, tags, func(m runtime.Machine) tempest.Engine {
+			unoptEng = tempest.NewTeapotEngine(unoptArt.Protocol, nodes, w.Blocks, m, lcm.MustSupport(unoptArt.Protocol, nodes))
+			return unoptEng
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/unopt: %w", w.Name, err)
+		}
+		row.Unopt = us.Cycles
+		row.AllocsUnopt = allocs(unoptEng, nodes)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// VerifyRow is one line of Table 3.
+type VerifyRow struct {
+	Protocol    string
+	Nodes       int
+	Blocks      int
+	Reorder     int
+	States      int
+	Transitions int
+	Depth       int
+	Elapsed     time.Duration
+	Violation   string
+}
+
+// Table3 regenerates Table 3: verification of Stache, Buffered-write, LCM
+// simple, and LCM MCC at the paper's configurations (2 nodes, 1 address,
+// bounded reordering) plus the larger configurations the paper could not
+// complete.
+func Table3() ([]VerifyRow, error) {
+	var rows []VerifyRow
+	add := func(name string, cfg mc.Config) error {
+		res, err := mc.Check(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		row := VerifyRow{
+			Protocol: name, Nodes: cfg.Nodes, Blocks: cfg.Blocks, Reorder: cfg.Reorder,
+			States: res.States, Transitions: res.Transitions, Depth: res.MaxDepth,
+			Elapsed: res.Elapsed,
+		}
+		if res.Violation != nil {
+			row.Violation = res.Violation.Kind + ": " + res.Violation.Msg
+		}
+		rows = append(rows, row)
+		return nil
+	}
+
+	st := stache.MustCompile(true)
+	stCfg := func(nodes, blocks, reorder int) mc.Config {
+		return mc.Config{
+			Proto: st.Protocol, Support: stache.MustSupport(st.Protocol),
+			Nodes: nodes, Blocks: blocks, Reorder: reorder,
+			Events: stache.NewEvents(st.Protocol), CheckCoherence: true,
+		}
+	}
+	if err := add("Stache", stCfg(2, 1, 1)); err != nil {
+		return nil, err
+	}
+	if err := add("Stache (2 addresses)", stCfg(2, 2, 0)); err != nil {
+		return nil, err
+	}
+
+	bw := bufwrite.MustCompile(true)
+	if err := add("Buffered-Write", mc.Config{
+		Proto: bw.Protocol, Support: bufwrite.MustSupport(bw.Protocol),
+		Nodes: 2, Blocks: 1, Reorder: 1,
+		Events: bufwrite.NewEvents(bw.Protocol), CheckCoherence: true,
+	}); err != nil {
+		return nil, err
+	}
+
+	for _, v := range []lcm.Variant{lcm.Base, lcm.MCC} {
+		a := lcm.MustCompile(v, true)
+		name := "LCM Simple"
+		if v == lcm.MCC {
+			name = "LCM MCC"
+		}
+		if err := add(name, mc.Config{
+			Proto: a.Protocol, Support: lcm.MustSupport(a.Protocol, 2),
+			Nodes: 2, Blocks: 1, Reorder: 1,
+			Events: lcm.NewEvents(a.Protocol), CheckCoherence: false,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Beyond the paper: the write-update protocol.
+	up := update.MustCompile(true)
+	if err := add("Update (extra)", mc.Config{
+		Proto: up.Protocol, Support: update.MustSupport(up.Protocol),
+		Nodes: 2, Blocks: 1, Reorder: 1,
+		Events: update.NewEvents(up.Protocol), CheckCoherence: true,
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// ReorderSweep verifies Stache across reordering bounds (the paper:
+// "unrestricted reordering led to impractical simulation sizes"; it capped
+// at 1 — we sweep 0..2).
+func ReorderSweep() ([]VerifyRow, error) {
+	st := stache.MustCompile(true)
+	var rows []VerifyRow
+	for reorder := 0; reorder <= 2; reorder++ {
+		res, err := mc.Check(mc.Config{
+			Proto: st.Protocol, Support: stache.MustSupport(st.Protocol),
+			Nodes: 2, Blocks: 1, Reorder: reorder,
+			Events: stache.NewEvents(st.Protocol), CheckCoherence: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := VerifyRow{
+			Protocol: "Stache", Nodes: 2, Blocks: 1, Reorder: reorder,
+			States: res.States, Transitions: res.Transitions,
+			Depth: res.MaxDepth, Elapsed: res.Elapsed,
+		}
+		if res.Violation != nil {
+			row.Violation = res.Violation.Kind + ": " + res.Violation.Msg
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BugHunt reproduces the §7 story: the model checker finds the seeded
+// upgrade/invalidate deadlock and produces an event trace.
+func BugHunt() (*mc.Result, error) {
+	p, err := stache.CompileBuggy()
+	if err != nil {
+		return nil, err
+	}
+	return mc.Check(mc.Config{
+		Proto: p, Support: stache.MustSupport(p),
+		Nodes: 2, Blocks: 1,
+		Events: stache.NewEvents(p), CheckCoherence: true,
+	})
+}
+
+// FigureRow summarizes one extracted state machine.
+type FigureRow struct {
+	Figure string
+	States int
+	Edges  int
+	DOT    string
+}
+
+// Figures regenerates Figures 1, 2, and 4.
+func Figures() []FigureRow {
+	a := stache.MustCompile(true)
+	mk := func(fig, prefix string, transient bool) FigureRow {
+		m := dot.Extract(a.IR, dot.Options{Prefix: prefix, IncludeTransient: transient})
+		return FigureRow{Figure: fig, States: len(m.States), Edges: len(m.Edges),
+			DOT: dot.Render(m, fig)}
+	}
+	return []FigureRow{
+		mk("figure-1-nonhome-idealized", "Cache_", false),
+		mk("figure-2-home-idealized", "Home_", false),
+		mk("figure-4-home-with-intermediates", "Home_", true),
+		mk("full-machine", "", true),
+	}
+}
+
+// LoCRow is one line of the §6 code-size comparison.
+type LoCRow struct {
+	Protocol  string
+	Teapot    int // Teapot source lines
+	Generated int // generated Go lines (the paper's generated C)
+	Hand      int // hand-written state machine lines (where one exists)
+}
+
+// LinesOfCode regenerates the §6 comparison (Stache: 600 Teapot → 1000 C,
+// hand-written ≈ 1000; LCM: 1500 → 2300, hand-written ≈ 2500).
+func LinesOfCode(handStache, handLCM int) []LoCRow {
+	count := func(s string) int { return strings.Count(s, "\n") }
+	st := stache.MustCompile(true)
+	lc := lcm.MustCompile(lcm.Base, true)
+	bw := bufwrite.MustCompile(true)
+	return []LoCRow{
+		{Protocol: "Stache", Teapot: count(stache.Source),
+			Generated: count(codegen.Generate(st.IR, "proto")), Hand: handStache},
+		{Protocol: "LCM", Teapot: count(lcm.Source(lcm.Base)),
+			Generated: count(codegen.Generate(lc.IR, "proto")), Hand: handLCM},
+		{Protocol: "Buffered-Write", Teapot: count(bufwrite.Source),
+			Generated: count(codegen.Generate(bw.IR, "proto"))},
+	}
+}
+
+// ProducerConsumerRow compares invalidation (Stache) against write-update
+// on the §1 producer-consumer pattern ("invalidating outstanding copies
+// forces the consumers to re-request data, which requires up to four
+// protocol messages for a small data transfer").
+type ProducerConsumerRow struct {
+	Protocol string
+	Cycles   int64
+	Faults   int64
+	Messages int64
+}
+
+// ProducerConsumer runs the comparison at the given machine size.
+func ProducerConsumer(nodes, iters int) ([]ProducerConsumerRow, error) {
+	var rows []ProducerConsumerRow
+	mk := func() *sim.Workload {
+		return sim.ProdCons(sim.WorkloadSpec{Nodes: nodes, Iters: iters, Seed: 77})
+	}
+	st := stache.MustCompile(true).Protocol
+	s1, err := run(mk(), nodes, tempest.ResolveTags(st), func(m runtime.Machine) tempest.Engine {
+		return tempest.NewTeapotEngine(st, nodes, mk().Blocks, m, stache.MustSupport(st))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ProducerConsumerRow{"Stache (invalidate)", s1.Cycles, s1.Faults, s1.Messages})
+	up := update.MustCompile(true).Protocol
+	s2, err := run(mk(), nodes, tempest.ResolveTags(up), func(m runtime.Machine) tempest.Engine {
+		return tempest.NewTeapotEngine(up, nodes, mk().Blocks, m, update.MustSupport(up))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ProducerConsumerRow{"Update (multicast)", s2.Cycles, s2.Faults, s2.Messages})
+	return rows, nil
+}
+
+// FormatPerf renders Table 1/2 in the paper's layout.
+func FormatPerf(title string, rows []PerfRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s %12s %22s %22s %18s %10s\n",
+		"Benchmark", "C Machine", "Teapot Unoptimized", "Teapot Optimized", "Allocs Opt/Unopt", "Fault time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12d %14d (%4.1f%%) %14d (%4.1f%%) %8d / %-8d %9.0f%%\n",
+			r.Benchmark, r.C,
+			r.Unopt, r.OverheadUnopt(),
+			r.Opt, r.OverheadOpt(),
+			r.AllocsOpt, r.AllocsUnopt, r.FaultPct)
+	}
+	return b.String()
+}
+
+// FormatVerify renders Table 3.
+func FormatVerify(rows []VerifyRow) string {
+	var b strings.Builder
+	b.WriteString("Table 3: Protocol verification\n")
+	fmt.Fprintf(&b, "%-22s %8s %8s %8s %10s %12s %8s %10s %s\n",
+		"Protocol", "Nodes", "Blocks", "Reorder", "States", "Transitions", "Depth", "Time", "Result")
+	for _, r := range rows {
+		result := "verified"
+		if r.Violation != "" {
+			result = r.Violation
+		}
+		fmt.Fprintf(&b, "%-22s %8d %8d %8d %10d %12d %8d %10s %s\n",
+			r.Protocol, r.Nodes, r.Blocks, r.Reorder, r.States, r.Transitions,
+			r.Depth, r.Elapsed.Round(time.Millisecond), result)
+	}
+	return b.String()
+}
+
+// Artifacts compiles everything once (used by commands needing protocols).
+func Artifacts() map[string]*core.Artifacts {
+	casArt, err := stache.CompileCAS(true)
+	if err != nil {
+		panic(err)
+	}
+	return map[string]*core.Artifacts{
+		"stache":     stache.MustCompile(true),
+		"lcm":        lcm.MustCompile(lcm.Base, true),
+		"lcm-update": lcm.MustCompile(lcm.Update, true),
+		"lcm-mcc":    lcm.MustCompile(lcm.MCC, true),
+		"lcm-both":   lcm.MustCompile(lcm.Both, true),
+		"bufwrite":   bufwrite.MustCompile(true),
+		"stache-cas": casArt,
+		"update":     update.MustCompile(true),
+	}
+}

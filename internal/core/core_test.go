@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"teapot/internal/core"
+)
+
+const tiny = `
+protocol T begin
+  state A();
+  state B(C : CONT) transient;
+  message GO;
+  message OK;
+end;
+state T.A() begin
+  message GO (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(src, OK, id);
+    Suspend(L, B{L});
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+end;
+state T.B(C : CONT) begin
+  message OK (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Enqueue(); end;
+end;
+`
+
+func TestCompileArtifacts(t *testing.T) {
+	art, err := core.Compile(core.Config{
+		Name: "tiny.tea", Source: tiny, Optimize: true,
+		HomeStart: "A", CacheStart: "A",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.AST == nil || art.Sema == nil || art.IR == nil || art.Protocol == nil {
+		t.Fatal("missing artifacts")
+	}
+	if art.Stats.Sites != 1 {
+		t.Errorf("sites = %d", art.Stats.Sites)
+	}
+	if art.Protocol.HomeStart != art.Protocol.StateIndex("A") {
+		t.Errorf("home start = %d", art.Protocol.HomeStart)
+	}
+	if art.Protocol.MsgIndex("GO") < 0 || art.Protocol.MsgIndex("NOPE") != -1 {
+		t.Error("MsgIndex broken")
+	}
+	if art.Protocol.StateIndex("B") < 0 || art.Protocol.StateIndex("NOPE") != -1 {
+		t.Error("StateIndex broken")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  core.Config
+		want string
+	}{
+		{"parse error", core.Config{Name: "x", Source: "protocol"}, "parse:"},
+		{"check error", core.Config{Name: "x", Source: `protocol P begin state S(); message M; end;
+state P.S() begin message M (id : ID) begin exit; end; end;`}, "check:"},
+		{"bad home start", core.Config{Name: "x", Source: tiny, HomeStart: "Nope"}, "unknown home start"},
+		{"bad cache start", core.Config{Name: "x", Source: tiny, CacheStart: "Nope"}, "unknown cache start"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := core.Compile(c.cfg)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestOptionsDerivation(t *testing.T) {
+	o := core.Config{Optimize: true}.Options()
+	if !o.Liveness || !o.ConstCont {
+		t.Errorf("optimized options = %+v", o)
+	}
+	o = core.Config{NoLiveness: true}.Options()
+	if o.Liveness || o.ConstCont {
+		t.Errorf("no-liveness options = %+v", o)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	core.MustCompile(core.Config{Name: "bad", Source: "not a protocol"})
+}

@@ -1,0 +1,154 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"teapot/internal/token"
+)
+
+func TestUsesAndDef(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		uses []Reg
+		def  Reg
+	}{
+		{Instr{Op: OpConst, Dst: 1}, nil, 1},
+		{Instr{Op: OpMove, Dst: 1, A: 2}, []Reg{2}, 1},
+		{Instr{Op: OpBin, Dst: 1, A: 2, B: 3}, []Reg{2, 3}, 1},
+		{Instr{Op: OpUn, Dst: 1, A: 2}, []Reg{2}, 1},
+		{Instr{Op: OpStoreVar, A: 2}, []Reg{2}, NoReg},
+		{Instr{Op: OpLoadVar, Dst: 4}, nil, 4},
+		{Instr{Op: OpCall, Dst: 1, Args: []Reg{5, 6}}, []Reg{5, 6}, 1},
+		{Instr{Op: OpCall, Dst: NoReg, Args: []Reg{5}}, []Reg{5}, NoReg},
+		{Instr{Op: OpMakeState, Dst: 1, Args: []Reg{2}}, []Reg{2}, 1},
+		{Instr{Op: OpMakeCont, Dst: 1, Args: []Reg{3}}, []Reg{3}, 1},
+		{Instr{Op: OpSuspend, A: 2}, []Reg{2}, NoReg},
+		{Instr{Op: OpResume, A: 2}, []Reg{2}, NoReg},
+		{Instr{Op: OpBranch, A: 2}, []Reg{2}, NoReg},
+		{Instr{Op: OpReturn}, nil, NoReg},
+		{Instr{Op: OpPrint, Args: []Reg{7}}, []Reg{7}, NoReg},
+	}
+	for i, c := range cases {
+		var got []Reg
+		got = c.in.Uses(got)
+		if len(got) != len(c.uses) {
+			t.Errorf("case %d (%v): uses = %v, want %v", i, c.in.Op, got, c.uses)
+			continue
+		}
+		for j := range got {
+			if got[j] != c.uses[j] {
+				t.Errorf("case %d: uses[%d] = %v, want %v", i, j, got[j], c.uses[j])
+			}
+		}
+		if d := c.in.Def(); d != c.def {
+			t.Errorf("case %d (%v): def = %v, want %v", i, c.in.Op, d, c.def)
+		}
+	}
+}
+
+func TestTerminates(t *testing.T) {
+	term := []Op{OpSuspend, OpResume, OpReturn, OpJump}
+	nonterm := []Op{OpNop, OpConst, OpMove, OpBin, OpCall, OpBranch, OpMakeCont}
+	for _, op := range term {
+		if !(&Instr{Op: op}).Terminates() {
+			t.Errorf("%v should terminate", op)
+		}
+	}
+	for _, op := range nonterm {
+		if (&Instr{Op: op}).Terminates() {
+			t.Errorf("%v should not terminate", op)
+		}
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	f := &Func{
+		NumRegs: 4,
+		Code: []Instr{
+			{Op: OpBranch, A: 0, Idx: 2, Idx2: 3}, // 0
+			{Op: OpNop},                           // 1 (unreachable filler)
+			{Op: OpJump, Idx: 5},                  // 2
+			{Op: OpSuspend, A: 1},                 // 3
+			{Op: OpResume, A: 2},                  // 4 (fragment 1 start)
+			{Op: OpReturn},                        // 5
+		},
+		Frags: []Fragment{{Start: 0, Site: -1}, {Start: 4, Site: 0}},
+	}
+	check := func(i int, want ...int) {
+		t.Helper()
+		var got []int
+		got = f.Succs(i, got)
+		if len(got) != len(want) {
+			t.Fatalf("Succs(%d) = %v, want %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("Succs(%d) = %v, want %v", i, got, want)
+			}
+		}
+	}
+	check(0, 2, 3)
+	check(1, 2)
+	check(2, 5)
+	check(3, 4) // suspend flows into the following fragment
+	check(4)    // resume: no intra-handler successor
+	check(5)    // return
+}
+
+func TestParamRegisterLayout(t *testing.T) {
+	f := &Func{NumStateParams: 2, NumParams: 3, NumLocals: 2, NumRegs: 10}
+	if f.StateParamReg(1) != 1 {
+		t.Error("state param layout")
+	}
+	if f.ParamReg(0) != 2 || f.ParamReg(2) != 4 {
+		t.Error("param layout")
+	}
+	if f.LocalReg(0) != 5 || f.LocalReg(1) != 6 {
+		t.Error("local layout")
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	fn := &FuncRef{Name: "Frob"}
+	cases := map[string]Instr{
+		"r1 := const 5 (kind 0)":      {Op: OpConst, Dst: 1, Int: 5},
+		"r1 := r2":                    {Op: OpMove, Dst: 1, A: 2},
+		"r3 := r1 + r2":               {Op: OpBin, Dst: 3, A: 1, B: 2, Tok: token.PLUS},
+		"var[2] := r1":                {Op: OpStoreVar, Idx: 2, A: 1},
+		"r1 := Frob(r2)":              {Op: OpCall, Dst: 1, Fn: fn, Args: []Reg{2}},
+		"suspend -> r1":               {Op: OpSuspend, A: 1},
+		"resume r1":                   {Op: OpResume, A: 1, Idx: -1},
+		"resume r1 [const site 3]":    {Op: OpResume, A: 1, Idx: 3},
+		"return":                      {Op: OpReturn},
+		"jump 7":                      {Op: OpJump, Idx: 7},
+		"branch r1 ? 2 : 3":           {Op: OpBranch, A: 1, Idx: 2, Idx2: 3},
+		"r1 := state[4]{r2}":          {Op: OpMakeState, Dst: 1, Idx: 4, Args: []Reg{2}},
+		"r1 := cont(frag 2, save r3)": {Op: OpMakeCont, Dst: 1, Idx: 2, Args: []Reg{3}},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", in.Op, got, want)
+		}
+	}
+}
+
+func TestDisassembleContainsFragments(t *testing.T) {
+	f := &Func{
+		Name: "S.M", StateIndex: 1, MsgIndex: 2,
+		NumStateParams: 1, NumParams: 3, NumLocals: 0, NumRegs: 6,
+		Code: []Instr{
+			{Op: OpMakeCont, Dst: 4, Idx: 1},
+			{Op: OpMakeState, Dst: 5, Idx: 0, Args: []Reg{4}},
+			{Op: OpSuspend, A: 5},
+			{Op: OpReturn},
+		},
+		Frags: []Fragment{{Start: 0, Site: -1}, {Start: 3, Site: 9, Saved: []Reg{1}}},
+	}
+	d := f.Disassemble()
+	for _, want := range []string{"func S.M", "frag 0", "frag 1 (site=9 saved=[1])", "suspend"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package lexer scans Teapot source text into tokens.
+//
+// Lexical structure follows the paper's examples: identifiers may contain
+// underscores and embedded digits (Cache_RO_To_RW, GET_RO_RESP); comments are
+// "--" to end of line (Modula/Murphi style, the paper's host syntax family)
+// plus "//" line comments and "(* ... *)" block comments for convenience;
+// string literals use double quotes; keywords are case-insensitive.
+package lexer
+
+import (
+	"teapot/internal/source"
+	"teapot/internal/token"
+)
+
+// Token is a scanned lexeme.
+type Token struct {
+	Kind token.Kind
+	Lit  string // literal text for IDENT, INT, STRING (decoded), ILLEGAL
+	Pos  source.Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case token.IDENT, token.INT, token.ILLEGAL:
+		return t.Lit
+	case token.STRING:
+		return "\"" + t.Lit + "\""
+	}
+	return t.Kind.String()
+}
+
+// Lexer scans one file.
+type Lexer struct {
+	file *source.File
+	src  string
+	off  int
+	errs *source.ErrorList
+}
+
+// New builds a Lexer over a file, reporting errors to errs.
+func New(file *source.File, errs *source.ErrorList) *Lexer {
+	return &Lexer{file: file, src: file.Text, errs: errs}
+}
+
+// ScanAll scans the entire file, always ending with an EOF token.
+func ScanAll(file *source.File, errs *source.ErrorList) []Token {
+	lx := New(file, errs)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) errorf(off int, format string, args ...any) {
+	l.errs.Add(l.file.Name, l.file.PosFor(off), format, args...)
+}
+
+func (l *Lexer) peek() byte {
+	if l.off < len(l.src) {
+		return l.src[l.off]
+	}
+	return 0
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n < len(l.src) {
+		return l.src[l.off+n]
+	}
+	return 0
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.off++
+		case c == '-' && l.peekAt(1) == '-':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.off++
+			}
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.off++
+			}
+		case c == '(' && l.peekAt(1) == '*':
+			start := l.off
+			l.off += 2
+			depth := 1
+			for l.off < len(l.src) && depth > 0 {
+				if l.src[l.off] == '(' && l.peekAt(1) == '*' {
+					depth++
+					l.off += 2
+				} else if l.src[l.off] == '*' && l.peekAt(1) == ')' {
+					depth--
+					l.off += 2
+				} else {
+					l.off++
+				}
+			}
+			if depth > 0 {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() Token {
+	l.skipSpaceAndComments()
+	start := l.off
+	pos := l.file.PosFor(start)
+	if l.off >= len(l.src) {
+		return Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.src[l.off]
+	switch {
+	case isLetter(c):
+		for l.off < len(l.src) && (isLetter(l.src[l.off]) || isDigit(l.src[l.off])) {
+			l.off++
+		}
+		lit := l.src[start:l.off]
+		kind := token.Lookup(lit)
+		if kind == token.IDENT {
+			return Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+		}
+		return Token{Kind: kind, Lit: lit, Pos: pos}
+	case isDigit(c):
+		for l.off < len(l.src) && isDigit(l.src[l.off]) {
+			l.off++
+		}
+		return Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+	case c == '"':
+		return l.scanString(pos)
+	}
+	l.off++
+	mk := func(k token.Kind) Token { return Token{Kind: k, Pos: pos} }
+	switch c {
+	case '(':
+		return mk(token.LPAREN)
+	case ')':
+		return mk(token.RPAREN)
+	case '{':
+		return mk(token.LBRACE)
+	case '}':
+		return mk(token.RBRACE)
+	case ';':
+		return mk(token.SEMICOLON)
+	case ',':
+		return mk(token.COMMA)
+	case '.':
+		return mk(token.DOT)
+	case '+':
+		return mk(token.PLUS)
+	case '-':
+		return mk(token.MINUS)
+	case '*':
+		return mk(token.STAR)
+	case '/':
+		return mk(token.SLASH)
+	case '%':
+		return mk(token.PERCENT)
+	case '=':
+		if l.peek() == '=' { // tolerate C-style ==
+			l.off++
+		}
+		return mk(token.EQ)
+	case ':':
+		if l.peek() == '=' {
+			l.off++
+			return mk(token.ASSIGN)
+		}
+		return mk(token.COLON)
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.off++
+			return mk(token.LE)
+		case '>':
+			l.off++
+			return mk(token.NEQ)
+		}
+		return mk(token.LT)
+	case '>':
+		if l.peek() == '=' {
+			l.off++
+			return mk(token.GE)
+		}
+		return mk(token.GT)
+	case '!':
+		if l.peek() == '=' {
+			l.off++
+			return mk(token.NEQ)
+		}
+		return mk(token.NOT)
+	case '&':
+		if l.peek() == '&' {
+			l.off++
+			return mk(token.AND)
+		}
+	case '|':
+		if l.peek() == '|' {
+			l.off++
+			return mk(token.OR)
+		}
+	}
+	l.errorf(start, "illegal character %q", string(c))
+	return Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanString(pos source.Pos) Token {
+	start := l.off
+	l.off++ // opening quote
+	var buf []byte
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch c {
+		case '"':
+			l.off++
+			return Token{Kind: token.STRING, Lit: string(buf), Pos: pos}
+		case '\n':
+			l.errorf(start, "unterminated string literal")
+			return Token{Kind: token.ILLEGAL, Lit: string(buf), Pos: pos}
+		case '\\':
+			l.off++
+			if l.off >= len(l.src) {
+				break
+			}
+			switch l.src[l.off] {
+			case 'n':
+				buf = append(buf, '\n')
+			case 't':
+				buf = append(buf, '\t')
+			case '"':
+				buf = append(buf, '"')
+			case '\\':
+				buf = append(buf, '\\')
+			default:
+				l.errorf(l.off, "unknown escape \\%c", l.src[l.off])
+				buf = append(buf, l.src[l.off])
+			}
+			l.off++
+		default:
+			buf = append(buf, c)
+			l.off++
+		}
+	}
+	l.errorf(start, "unterminated string literal")
+	return Token{Kind: token.ILLEGAL, Lit: string(buf), Pos: pos}
+}

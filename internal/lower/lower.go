@@ -1,0 +1,345 @@
+// Package lower translates checked Teapot handlers into the register IR.
+//
+// Suspend statements become fragment boundaries: an OpMakeCont capturing the
+// (not-yet-computed) live set, the evaluation of the target subroutine
+// state's arguments, and an OpSuspend terminating the fragment. The saved
+// register sets are filled in afterwards by the continuation pass
+// (internal/cont), which runs liveness analysis first.
+package lower
+
+import (
+	"fmt"
+
+	"teapot/internal/ast"
+	"teapot/internal/ir"
+	"teapot/internal/sema"
+	"teapot/internal/token"
+)
+
+// Lower compiles every handler of a checked program. It panics on internal
+// inconsistencies (sema guarantees well-formedness).
+func Lower(sp *sema.Program) *ir.Program {
+	p := &ir.Program{
+		Sema:        sp,
+		HandlerFunc: make([]map[int]*ir.Func, len(sp.States)),
+		Defaults:    make([]*ir.Func, len(sp.States)),
+	}
+	for si, st := range sp.States {
+		p.HandlerFunc[si] = make(map[int]*ir.Func)
+		for _, h := range st.Handlers {
+			f := lowerHandler(p, st, h)
+			p.Funcs = append(p.Funcs, f)
+			if h.Msg != nil {
+				p.HandlerFunc[si][h.Msg.Index] = f
+			} else {
+				p.Defaults[si] = f
+			}
+		}
+	}
+	return p
+}
+
+type builder struct {
+	p    *ir.Program
+	sp   *sema.Program
+	st   *sema.StateSym
+	hs   *sema.HandlerSym
+	f    *ir.Func
+	next ir.Reg
+
+	contName string // continuation bound by the innermost Suspend target
+	contReg  ir.Reg
+}
+
+func lowerHandler(p *ir.Program, st *sema.StateSym, hs *sema.HandlerSym) *ir.Func {
+	f := &ir.Func{
+		Name:           st.Name + "." + hs.Name(),
+		StateIndex:     st.Index,
+		MsgIndex:       -1,
+		NumStateParams: len(st.Params),
+		NumParams:      len(hs.Params),
+		NumLocals:      len(hs.Locals),
+	}
+	if hs.Msg != nil {
+		f.MsgIndex = hs.Msg.Index
+	}
+	b := &builder{p: p, sp: p.Sema, st: st, hs: hs, f: f}
+	b.next = ir.Reg(f.NumStateParams + f.NumParams + f.NumLocals)
+	f.Frags = []ir.Fragment{{Start: 0, Site: -1}}
+	b.stmts(hs.Body)
+	// Always end with an explicit Return: a trailing Suspend leaves an
+	// empty final fragment that needs a landing point, and a trailing
+	// while-loop's exit branch targets the instruction after the body.
+	b.emit(ir.Instr{Op: ir.OpReturn})
+	f.NumRegs = int(b.next)
+	return f
+}
+
+func (b *builder) emit(in ir.Instr) int {
+	b.f.Code = append(b.f.Code, in)
+	return len(b.f.Code) - 1
+}
+
+func (b *builder) newReg() ir.Reg {
+	r := b.next
+	b.next++
+	return r
+}
+
+func (b *builder) here() int { return len(b.f.Code) }
+
+func (b *builder) sym(id *ast.Ident) *sema.Symbol {
+	s := b.sp.Uses[id]
+	if s == nil {
+		panic(fmt.Sprintf("lower: unresolved identifier %q at %s", id.Name, id.Pos()))
+	}
+	return s
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		cond := b.expr(s.Cond)
+		br := b.emit(ir.Instr{Op: ir.OpBranch, A: cond, Pos: s.IfPos})
+		b.f.Code[br].Idx = b.here()
+		b.stmts(s.Then)
+		if len(s.Else) == 0 {
+			b.f.Code[br].Idx2 = b.here()
+			return
+		}
+		jmp := b.emit(ir.Instr{Op: ir.OpJump})
+		b.f.Code[br].Idx2 = b.here()
+		b.stmts(s.Else)
+		b.f.Code[jmp].Idx = b.here()
+	case *ast.WhileStmt:
+		head := b.here()
+		cond := b.expr(s.Cond)
+		br := b.emit(ir.Instr{Op: ir.OpBranch, A: cond, Pos: s.WhilePos})
+		b.f.Code[br].Idx = b.here()
+		b.stmts(s.Body)
+		b.emit(ir.Instr{Op: ir.OpJump, Idx: head})
+		b.f.Code[br].Idx2 = b.here()
+	case *ast.CallStmt:
+		b.call(s.Call, true)
+	case *ast.AssignStmt:
+		sym := b.sym(s.LHS)
+		switch sym.Kind {
+		case sema.SymLocal:
+			val := b.expr(s.RHS)
+			b.emit(ir.Instr{Op: ir.OpMove, Dst: b.f.LocalReg(sym.Index), A: val, Pos: s.Pos()})
+		case sema.SymParam:
+			val := b.expr(s.RHS)
+			b.emit(ir.Instr{Op: ir.OpMove, Dst: b.f.ParamReg(sym.Index), A: val, Pos: s.Pos()})
+		case sema.SymProtVar:
+			val := b.expr(s.RHS)
+			b.emit(ir.Instr{Op: ir.OpStoreVar, Idx: sym.Index, A: val, Pos: s.Pos()})
+		default:
+			panic("lower: bad assignment target kind")
+		}
+	case *ast.SuspendStmt:
+		b.suspend(s)
+	case *ast.ResumeStmt:
+		c := b.expr(s.Cont)
+		b.emit(ir.Instr{Op: ir.OpResume, A: c, Idx: -1, Pos: s.ResumePos})
+	case *ast.ReturnStmt:
+		b.emit(ir.Instr{Op: ir.OpReturn, Pos: s.ReturnPos})
+	case *ast.PrintStmt:
+		var args []ir.Reg
+		for _, a := range s.Args {
+			args = append(args, b.expr(a))
+		}
+		b.emit(ir.Instr{Op: ir.OpPrint, Dst: ir.NoReg, Args: args, Pos: s.PrintPos})
+	default:
+		panic(fmt.Sprintf("lower: unknown statement %T", s))
+	}
+}
+
+func (b *builder) suspend(s *ast.SuspendStmt) {
+	target := b.sp.StateByName(s.Target.Name.Name)
+	fragIdx := len(b.f.Frags)
+	site := &ir.SuspendSite{
+		ID:          len(b.p.Sites),
+		Func:        b.f,
+		FragIdx:     fragIdx,
+		TargetState: target.Index,
+	}
+	b.p.Sites = append(b.p.Sites, site)
+
+	contReg := b.newReg()
+	b.emit(ir.Instr{Op: ir.OpMakeCont, Dst: contReg, Idx: fragIdx, Pos: s.SuspendPos})
+
+	// Bind the continuation name while evaluating the target's arguments.
+	prevName, prevReg := b.contName, b.contReg
+	b.contName, b.contReg = s.Cont.Name, contReg
+	var args []ir.Reg
+	for _, a := range s.Target.Args {
+		args = append(args, b.expr(a))
+	}
+	b.contName, b.contReg = prevName, prevReg
+
+	sv := b.newReg()
+	b.emit(ir.Instr{Op: ir.OpMakeState, Dst: sv, Idx: target.Index, Args: args, Pos: s.Target.Pos()})
+	b.emit(ir.Instr{Op: ir.OpSuspend, A: sv, Dst: ir.NoReg, Pos: s.SuspendPos})
+	b.f.Frags = append(b.f.Frags, ir.Fragment{Start: b.here(), Site: site.ID})
+}
+
+func (b *builder) expr(e ast.Expr) ir.Reg {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		r := b.newReg()
+		b.emit(ir.Instr{Op: ir.OpConst, Dst: r, Int: e.Value, Kind: ir.KInt, Pos: e.Pos()})
+		return r
+	case *ast.BoolLit:
+		r := b.newReg()
+		v := int64(0)
+		if e.Value {
+			v = 1
+		}
+		b.emit(ir.Instr{Op: ir.OpConst, Dst: r, Int: v, Kind: ir.KBool, Pos: e.Pos()})
+		return r
+	case *ast.StringLit:
+		r := b.newReg()
+		b.emit(ir.Instr{Op: ir.OpConstStr, Dst: r, Str: e.Value, Pos: e.Pos()})
+		return r
+	case *ast.Name:
+		return b.name(e.Ident)
+	case *ast.CallExpr:
+		return b.call(e, false)
+	case *ast.StateExpr:
+		st := b.sp.StateByName(e.Name.Name)
+		var args []ir.Reg
+		for _, a := range e.Args {
+			args = append(args, b.expr(a))
+		}
+		r := b.newReg()
+		b.emit(ir.Instr{Op: ir.OpMakeState, Dst: r, Idx: st.Index, Args: args, Pos: e.Pos()})
+		return r
+	case *ast.BinExpr:
+		x := b.expr(e.X)
+		y := b.expr(e.Y)
+		r := b.newReg()
+		op := e.Op
+		switch op {
+		case token.KWAND:
+			op = token.AND
+		case token.KWOR:
+			op = token.OR
+		}
+		b.emit(ir.Instr{Op: ir.OpBin, Dst: r, A: x, B: y, Tok: op, Pos: e.OpPos})
+		return r
+	case *ast.UnExpr:
+		x := b.expr(e.X)
+		r := b.newReg()
+		op := e.Op
+		if op == token.NOT {
+			op = token.KWNOT
+		}
+		b.emit(ir.Instr{Op: ir.OpUn, Dst: r, A: x, Tok: op, Pos: e.OpPos})
+		return r
+	case *ast.ParenExpr:
+		return b.expr(e.X)
+	}
+	panic(fmt.Sprintf("lower: unknown expression %T", e))
+}
+
+func (b *builder) name(id *ast.Ident) ir.Reg {
+	sym := b.sym(id)
+	switch sym.Kind {
+	case sema.SymLocal:
+		return b.f.LocalReg(sym.Index)
+	case sema.SymParam:
+		return b.f.ParamReg(sym.Index)
+	case sema.SymStateParam:
+		return b.f.StateParamReg(sym.Index)
+	case sema.SymSuspendCont:
+		if id.Name != b.contName {
+			panic("lower: continuation name out of scope")
+		}
+		return b.contReg
+	case sema.SymProtVar:
+		r := b.newReg()
+		b.emit(ir.Instr{Op: ir.OpLoadVar, Dst: r, Idx: sym.Index, Pos: id.Pos()})
+		return r
+	case sema.SymConst:
+		r := b.newReg()
+		cv := sym.Const
+		if cv.Type.Same(sema.String) {
+			b.emit(ir.Instr{Op: ir.OpConstStr, Dst: r, Str: cv.Str, Pos: id.Pos()})
+			return r
+		}
+		kind := ir.KInt
+		switch cv.Type.Kind {
+		case sema.TBool:
+			kind = ir.KBool
+		case sema.TAccess:
+			kind = ir.KAccess
+		}
+		b.emit(ir.Instr{Op: ir.OpConst, Dst: r, Int: cv.Int, Kind: kind, Pos: id.Pos()})
+		return r
+	case sema.SymModConst:
+		r := b.newReg()
+		b.emit(ir.Instr{Op: ir.OpModConst, Dst: r, Idx: sym.Index, Pos: id.Pos()})
+		return r
+	case sema.SymBuiltinVal:
+		r := b.newReg()
+		b.emit(ir.Instr{Op: ir.OpBuiltinVal, Dst: r, Idx: sym.Index, Pos: id.Pos()})
+		return r
+	case sema.SymMessage:
+		r := b.newReg()
+		b.emit(ir.Instr{Op: ir.OpConst, Dst: r, Int: int64(sym.Index), Kind: ir.KMsg, Pos: id.Pos()})
+		return r
+	case sema.SymState:
+		// Bare state name as a value: a state constructor with no args.
+		r := b.newReg()
+		b.emit(ir.Instr{Op: ir.OpMakeState, Dst: r, Idx: sym.Index, Pos: id.Pos()})
+		return r
+	}
+	panic(fmt.Sprintf("lower: unhandled symbol kind %d for %q", sym.Kind, id.Name))
+}
+
+// call lowers a routine application. Enqueue's arguments are not evaluated:
+// the builtin re-queues the *current* message regardless of what the paper's
+// convention passes.
+func (b *builder) call(e *ast.CallExpr, asStmt bool) ir.Reg {
+	fsym := b.sp.Funcs[e.Func.Name]
+	ref := &ir.FuncRef{Name: fsym.Name, Builtin: fsym.Builtin, Sig: fsym.Sig}
+	var args []ir.Reg
+	type writeback struct {
+		slot int
+		reg  ir.Reg
+	}
+	var wbs []writeback
+	if fsym.Builtin != sema.BEnqueue {
+		for i, a := range e.Args {
+			r := b.expr(a)
+			args = append(args, r)
+			// A protocol variable passed to a var parameter lives in the
+			// block's info record, not a register: store the (possibly
+			// mutated) value back after the call. Registers themselves are
+			// passed by reference to the callee, and abstract types have
+			// reference semantics, so only this case needs a writeback.
+			if i < len(fsym.Sig.Params) && fsym.Sig.ByRef[i] {
+				if n, ok := a.(*ast.Name); ok {
+					if sym := b.sym(n.Ident); sym.Kind == sema.SymProtVar {
+						wbs = append(wbs, writeback{slot: sym.Index, reg: r})
+					}
+				}
+			}
+		}
+	}
+	dst := ir.NoReg
+	if fsym.Sig.Result.Kind != sema.TInvalid && !asStmt {
+		dst = b.newReg()
+	}
+	b.emit(ir.Instr{Op: ir.OpCall, Dst: dst, Fn: ref, Args: args, Pos: e.Pos()})
+	for _, wb := range wbs {
+		b.emit(ir.Instr{Op: ir.OpStoreVar, Idx: wb.slot, A: wb.reg, Pos: e.Pos()})
+	}
+	return dst
+}

@@ -1,0 +1,171 @@
+package lower_test
+
+import (
+	"strings"
+	"testing"
+
+	"teapot/internal/ir"
+	"teapot/internal/lower"
+	"teapot/internal/parser"
+	"teapot/internal/sema"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse("t.tea", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return lower.Lower(sp)
+}
+
+const fixture = `
+module M begin
+  function F(x : int) : int;
+  procedure G(var y : int);
+end;
+protocol P begin
+  var pv : int;
+  state S();
+  state W(C : CONT) transient;
+  message GO;
+  message ACK;
+end;
+state P.S() begin
+  message GO (id : ID; var info : INFO; src : NODE)
+  var a : int;
+  begin
+    a := F(pv);
+    G(pv);
+    if (a > 0) then
+      Suspend(L, W{L});
+    endif;
+    pv := a;
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Enqueue(); end;
+end;
+state P.W(C : CONT) begin
+  message ACK (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Enqueue(); end;
+end;
+`
+
+func find(p *ir.Program, name string) *ir.Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+func TestLoweringStructure(t *testing.T) {
+	p := compile(t, fixture)
+	f := find(p, "S.GO")
+	if f == nil {
+		t.Fatal("S.GO not found")
+	}
+	if f.NumStateParams != 0 || f.NumParams != 3 || f.NumLocals != 1 {
+		t.Errorf("layout: sp=%d p=%d l=%d", f.NumStateParams, f.NumParams, f.NumLocals)
+	}
+	// Handler tables.
+	sp := p.Sema
+	go_ := sp.MessageByName("GO").Index
+	sIdx := sp.StateByName("S").Index
+	if p.FuncFor(sIdx, go_) != f {
+		t.Error("FuncFor(S, GO) wrong")
+	}
+	ack := sp.MessageByName("ACK").Index
+	if d := p.FuncFor(sIdx, ack); d == nil || d.MsgIndex != -1 {
+		t.Errorf("FuncFor(S, ACK) should be the DEFAULT handler, got %v", d)
+	}
+	// Every handler ends with a terminator, and fragment starts are valid.
+	for _, fn := range p.Funcs {
+		if len(fn.Code) == 0 {
+			t.Fatalf("%s: empty body", fn.Name)
+		}
+		last := fn.Code[len(fn.Code)-1]
+		if !last.Terminates() {
+			t.Errorf("%s: last instruction %v does not terminate", fn.Name, last.Op)
+		}
+		for i, fr := range fn.Frags {
+			if fr.Start < 0 || fr.Start >= len(fn.Code) {
+				t.Errorf("%s: fragment %d start %d out of range", fn.Name, i, fr.Start)
+			}
+		}
+		// All jump targets in range.
+		for i, in := range fn.Code {
+			switch in.Op {
+			case ir.OpJump:
+				if in.Idx < 0 || in.Idx >= len(fn.Code) {
+					t.Errorf("%s@%d: jump to %d out of range", fn.Name, i, in.Idx)
+				}
+			case ir.OpBranch:
+				if in.Idx >= len(fn.Code) || in.Idx2 >= len(fn.Code) {
+					t.Errorf("%s@%d: branch targets out of range", fn.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestByRefProtVarWriteback(t *testing.T) {
+	p := compile(t, fixture)
+	f := find(p, "S.GO")
+	d := f.Disassemble()
+	// G(pv) must load the var, call, and store it back.
+	callAt := strings.Index(d, "G(")
+	if callAt < 0 {
+		t.Fatalf("no call to G:\n%s", d)
+	}
+	rest := d[callAt:]
+	if !strings.Contains(rest, "var[0] :=") {
+		t.Errorf("no writeback after by-ref call:\n%s", d)
+	}
+}
+
+func TestSuspendInsideConditional(t *testing.T) {
+	p := compile(t, fixture)
+	f := find(p, "S.GO")
+	if len(f.Frags) != 2 {
+		t.Fatalf("frags = %d, want 2\n%s", len(f.Frags), f.Disassemble())
+	}
+	if len(p.Sites) != 1 || p.Sites[0].Func != f || p.Sites[0].FragIdx != 1 {
+		t.Errorf("sites = %+v", p.Sites[0])
+	}
+	// The post-suspend code ("pv := a") is reachable both from the
+	// fall-through (a <= 0) and the resumption; the fragment entry must
+	// coincide with or precede the store.
+	start := f.Frags[1].Start
+	foundStore := false
+	for i := start; i < len(f.Code); i++ {
+		if f.Code[i].Op == ir.OpStoreVar {
+			foundStore = true
+		}
+	}
+	if !foundStore {
+		t.Errorf("fragment 1 lost the trailing assignment:\n%s", f.Disassemble())
+	}
+}
+
+func TestEnqueueIgnoresArguments(t *testing.T) {
+	p := compile(t, `
+protocol P begin state S(); message M; end;
+state P.S() begin
+  message M (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+`)
+	f := find(p, "S.M")
+	for _, in := range f.Code {
+		if in.Op == ir.OpCall && in.Fn.Name == "Enqueue" && len(in.Args) != 0 {
+			t.Errorf("Enqueue lowered with %d args", len(in.Args))
+		}
+	}
+}

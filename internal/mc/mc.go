@@ -1,0 +1,528 @@
+// Package mc is a Murphi-style explicit-state model checker for compiled
+// Teapot protocols (§7 of the paper). It explores, breadth-first, every
+// interleaving of message deliveries (with bounded network reordering) and
+// nondeterministically generated processor events, checking:
+//
+//   - no protocol errors (the Error builtin, unhandled messages, runaway
+//     handlers) — the paper's "does not receive a message that is not
+//     anticipated in a given state";
+//   - no deadlock (a processor stalled with an empty network and no
+//     deliverable messages);
+//   - the single-writer/multiple-readers coherence invariant on the
+//     fine-grain access-control state;
+//   - bounded channels and deferred queues (a flood indicates livelock).
+//
+// Unlike the paper, which generates Murphi text and runs Dill et al.'s
+// checker, this package explores the *same compiled IR* the simulator
+// executes, so verified and executable protocols agree by construction.
+// internal/murphi still renders Murphi source for the dual-target property.
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"teapot/internal/runtime"
+	"teapot/internal/sema"
+	"teapot/internal/vm"
+)
+
+// Config parameterizes a verification run.
+type Config struct {
+	Proto   *runtime.Protocol
+	Support runtime.Support
+	Codec   runtime.AbstractCodec // nil unless the protocol snapshots abstract values
+
+	Nodes  int
+	Blocks int
+	HomeOf func(id int) int // default: id % Nodes
+
+	// Reorder bounds network reordering: a delivery may overtake at most
+	// Reorder earlier messages in its channel (0 = in-order, the paper
+	// verified with "1 reordering max").
+	Reorder int
+
+	Events EventGen
+
+	MaxStates  int // 0 = unlimited
+	ChannelCap int // default 12
+	QueueCap   int // default 8
+
+	CheckCoherence bool
+}
+
+// EventGen enumerates the protocol events a processor may spontaneously
+// issue in a given global state (the paper's hand-written "event generation
+// loop", §7).
+type EventGen interface {
+	Enabled(w *World, node, block int) []Event
+}
+
+// Event is one processor-issued protocol event.
+type Event struct {
+	Name    string
+	Tag     int
+	Stalls  bool // the processor stalls until WakeUp on this block
+	Payload []vm.Value
+}
+
+// Result summarizes a run.
+type Result struct {
+	States      int
+	Transitions int
+	MaxDepth    int
+	Violation   *Violation
+	Elapsed     time.Duration
+}
+
+// Violation describes a found bug with its event trace from the initial
+// state (the paper: "Murphi produces a trace of events leading to the
+// erroneous state").
+type Violation struct {
+	Kind  string
+	Msg   string
+	Trace []string
+}
+
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", v.Kind, v.Msg)
+	for i, step := range v.Trace {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, step)
+	}
+	return b.String()
+}
+
+// World is one reachable global state, materialized for expansion. Event
+// generators read it through the accessor methods.
+type World struct {
+	cfg      *Config
+	engines  []*runtime.Engine
+	channels [][]*runtime.Message // [from*Nodes+to]
+	access   []sema.AccessMode    // [node*Blocks+block]
+	stalled  []int                // per node: block stalled on, or -1
+
+	sendErr error
+}
+
+// StateName returns the protocol state name of (node, block).
+func (w *World) StateName(node, block int) string {
+	return w.engines[node].Blocks[block].StateName(w.cfg.Proto)
+}
+
+// Access returns the access mode of (node, block).
+func (w *World) Access(node, block int) sema.AccessMode {
+	return w.access[node*w.cfg.Blocks+block]
+}
+
+// Stalled returns the block node is stalled on, or -1.
+func (w *World) Stalled(node int) int { return w.stalled[node] }
+
+// IsHome reports whether node is block's home.
+func (w *World) IsHome(node, block int) bool { return w.cfg.HomeOf(block) == node }
+
+// Engine exposes a node's engine (for invariant helpers).
+func (w *World) Engine(node int) *runtime.Engine { return w.engines[node] }
+
+// BlockVarInt reads a per-block protocol variable's integer payload (event
+// generators use this to observe protocol bookkeeping such as phase votes).
+func (w *World) BlockVarInt(node, block, slot int) int64 {
+	return w.engines[node].Blocks[block].Vars[slot].Int
+}
+
+// Nodes returns the machine size.
+func (w *World) Nodes() int { return w.cfg.Nodes }
+
+// AnyMessage reports whether any in-flight or deferred message satisfies
+// pred (event generators use this to model application barriers: "the
+// network is quiet for this block").
+func (w *World) AnyMessage(pred func(m *runtime.Message) bool) bool {
+	for _, ch := range w.channels {
+		for _, m := range ch {
+			if pred(m) {
+				return true
+			}
+		}
+	}
+	for _, e := range w.engines {
+		for _, b := range e.Blocks {
+			for _, m := range b.Deferred {
+				if pred(m) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Proto returns the protocol under check.
+func (w *World) Proto() *runtime.Protocol { return w.cfg.Proto }
+
+// ---- runtime.Machine implementation ----
+
+func (w *World) Send(from, dst int, m *runtime.Message) {
+	if dst < 0 || dst >= w.cfg.Nodes {
+		w.sendErr = fmt.Errorf("send to invalid node %d", dst)
+		return
+	}
+	ch := from*w.cfg.Nodes + dst
+	w.channels[ch] = append(w.channels[ch], m)
+}
+
+func (w *World) AccessChange(node, id int, mode sema.AccessMode) {
+	w.access[node*w.cfg.Blocks+id] = mode
+}
+
+func (w *World) RecvData(node, id int, mode sema.AccessMode) {
+	w.access[node*w.cfg.Blocks+id] = mode
+}
+
+func (w *World) WakeUp(node, id int) {
+	if w.stalled[node] == id {
+		w.stalled[node] = -1
+	}
+}
+
+func (w *World) HomeNode(id int) int { return w.cfg.HomeOf(id) }
+
+func (w *World) Print(node int, s string) {}
+
+// newWorld builds the initial state.
+func newWorld(cfg *Config) *World {
+	w := &World{
+		cfg:      cfg,
+		channels: make([][]*runtime.Message, cfg.Nodes*cfg.Nodes),
+		access:   make([]sema.AccessMode, cfg.Nodes*cfg.Blocks),
+		stalled:  make([]int, cfg.Nodes),
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		w.stalled[n] = -1
+		w.engines = append(w.engines, runtime.NewEngine(cfg.Proto, n, cfg.Blocks, w, cfg.Support))
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		w.access[cfg.HomeOf(b)*cfg.Blocks+b] = sema.AccReadWrite
+	}
+	return w
+}
+
+// encode canonically serializes the whole world.
+func (w *World) encode() (string, error) {
+	enc := &runtime.Encoder{}
+	for _, e := range w.engines {
+		if err := e.EncodeState(enc, w.cfg.Codec); err != nil {
+			return "", err
+		}
+	}
+	for ch, msgs := range w.channels {
+		enc.Int(int64(len(msgs)))
+		for _, m := range msgs {
+			// Channel messages may belong to any engine's blocks; use the
+			// destination engine for info-handle reconstruction symmetry.
+			if err := w.engines[ch%w.cfg.Nodes].EncodeMessage(enc, m, w.cfg.Codec); err != nil {
+				return "", err
+			}
+		}
+	}
+	for _, a := range w.access {
+		enc.Byte(byte(a))
+	}
+	for _, s := range w.stalled {
+		enc.Int(int64(s))
+	}
+	return string(enc.Bytes()), nil
+}
+
+// decode restores a world from its canonical form.
+func (cfg *Config) decode(key string) (*World, error) {
+	w := newWorld(cfg)
+	d := runtime.NewDecoder([]byte(key))
+	for _, e := range w.engines {
+		if err := e.DecodeState(d, cfg.Codec); err != nil {
+			return nil, err
+		}
+	}
+	for ch := range w.channels {
+		n := int(d.Int())
+		w.channels[ch] = nil
+		for i := 0; i < n; i++ {
+			m, err := w.engines[ch%cfg.Nodes].DecodeMessage(d, cfg.Codec)
+			if err != nil {
+				return nil, err
+			}
+			w.channels[ch] = append(w.channels[ch], m)
+		}
+	}
+	for i := range w.access {
+		w.access[i] = sema.AccessMode(d.Byte())
+	}
+	for i := range w.stalled {
+		w.stalled[i] = int(d.Int())
+	}
+	return w, nil
+}
+
+// action is one outgoing transition from a state.
+type action struct {
+	deliver  bool
+	from, to int
+	idx      int // position within the channel (≤ Reorder)
+	node     int
+	block    int
+	event    Event
+}
+
+func (w *World) describe(a action) string {
+	if a.deliver {
+		m := w.channels[a.from*w.cfg.Nodes+a.to][a.idx]
+		name := fmt.Sprintf("msg%d", m.Tag)
+		if sm := w.cfg.Proto.Sema(); m.Tag >= 0 && m.Tag < len(sm.Messages) {
+			name = sm.Messages[m.Tag].Name
+		}
+		pos := ""
+		if a.idx > 0 {
+			pos = fmt.Sprintf(" (overtaking %d)", a.idx)
+		}
+		return fmt.Sprintf("deliver %s blk%d node%d->node%d%s [dst state %s]",
+			name, m.ID, a.from, a.to, pos, w.StateName(a.to, m.ID))
+	}
+	return fmt.Sprintf("event %s blk%d at node%d [state %s]",
+		a.event.Name, a.block, a.node, w.StateName(a.node, a.block))
+}
+
+// actions enumerates every transition enabled in w.
+func (w *World) actions() []action {
+	var out []action
+	for from := 0; from < w.cfg.Nodes; from++ {
+		for to := 0; to < w.cfg.Nodes; to++ {
+			ch := w.channels[from*w.cfg.Nodes+to]
+			limit := w.cfg.Reorder
+			if limit > len(ch)-1 {
+				limit = len(ch) - 1
+			}
+			for i := 0; i <= limit; i++ {
+				out = append(out, action{deliver: true, from: from, to: to, idx: i})
+			}
+		}
+	}
+	if w.cfg.Events != nil {
+		for n := 0; n < w.cfg.Nodes; n++ {
+			for b := 0; b < w.cfg.Blocks; b++ {
+				for _, ev := range w.cfg.Events.Enabled(w, n, b) {
+					out = append(out, action{node: n, block: b, event: ev})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// apply executes the action, returning a protocol error if one occurred.
+func (w *World) apply(a action) error {
+	if a.deliver {
+		ch := a.from*w.cfg.Nodes + a.to
+		m := w.channels[ch][a.idx]
+		w.channels[ch] = append(append([]*runtime.Message{}, w.channels[ch][:a.idx]...), w.channels[ch][a.idx+1:]...)
+		if err := w.engines[a.to].Deliver(m); err != nil {
+			return err
+		}
+		return w.sendErr
+	}
+	if a.event.Stalls {
+		w.stalled[a.node] = a.block
+	}
+	if err := w.engines[a.node].InjectEvent(a.event.Tag, a.block, a.event.Payload...); err != nil {
+		return err
+	}
+	return w.sendErr
+}
+
+// checkInvariants returns a violation message, or "".
+func (w *World) checkInvariants() string {
+	if w.cfg.CheckCoherence {
+		for b := 0; b < w.cfg.Blocks; b++ {
+			writers, readers := 0, 0
+			for n := 0; n < w.cfg.Nodes; n++ {
+				switch w.Access(n, b) {
+				case sema.AccReadWrite:
+					writers++
+				case sema.AccReadOnly:
+					readers++
+				}
+			}
+			if writers > 1 || (writers == 1 && readers > 0) {
+				return fmt.Sprintf("coherence violated on block %d: %d writers, %d readers", b, writers, readers)
+			}
+		}
+	}
+	for ch, msgs := range w.channels {
+		if len(msgs) > w.cfg.ChannelCap {
+			return fmt.Sprintf("channel %d->%d exceeds %d messages",
+				ch/w.cfg.Nodes, ch%w.cfg.Nodes, w.cfg.ChannelCap)
+		}
+	}
+	for n, e := range w.engines {
+		for _, b := range e.Blocks {
+			if len(b.Deferred) > w.cfg.QueueCap {
+				return fmt.Sprintf("deferred queue for block %d on node %d exceeds %d", b.ID, n, w.cfg.QueueCap)
+			}
+		}
+	}
+	return ""
+}
+
+// anyStalled reports whether some processor is stalled.
+func (w *World) anyStalled() bool {
+	for _, s := range w.stalled {
+		if s >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// networkEmpty reports whether no messages are in flight.
+func (w *World) networkEmpty() bool {
+	for _, ch := range w.channels {
+		if len(ch) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type parentInfo struct {
+	parent string
+	action string
+	depth  int
+}
+
+// Check runs the breadth-first exploration.
+func Check(cfg Config) (*Result, error) {
+	if cfg.HomeOf == nil {
+		nodes := cfg.Nodes
+		cfg.HomeOf = func(id int) int { return id % nodes }
+	}
+	if cfg.ChannelCap == 0 {
+		cfg.ChannelCap = 12
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 8
+	}
+	start := time.Now()
+	res := &Result{}
+
+	init := newWorld(&cfg)
+	initKey, err := init.encode()
+	if err != nil {
+		return nil, err
+	}
+	visited := map[string]parentInfo{initKey: {depth: 0}}
+	frontier := []string{initKey}
+
+	trace := func(key string, extra string) []string {
+		var steps []string
+		for key != "" {
+			pi := visited[key]
+			if pi.action != "" {
+				steps = append(steps, pi.action)
+			}
+			key = pi.parent
+		}
+		// reverse
+		for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+			steps[i], steps[j] = steps[j], steps[i]
+		}
+		if extra != "" {
+			steps = append(steps, extra)
+		}
+		return steps
+	}
+
+	for len(frontier) > 0 {
+		key := frontier[0]
+		frontier = frontier[1:]
+		depth := visited[key].depth
+		if depth > res.MaxDepth {
+			res.MaxDepth = depth
+		}
+
+		w, err := cfg.decode(key)
+		if err != nil {
+			return nil, fmt.Errorf("mc: decode: %w", err)
+		}
+		acts := w.actions()
+		if len(acts) == 0 && w.anyStalled() && w.networkEmpty() {
+			res.Violation = &Violation{
+				Kind:  "deadlock",
+				Msg:   describeStall(w),
+				Trace: trace(key, ""),
+			}
+			break
+		}
+		for _, a := range acts {
+			wa, err := cfg.decode(key)
+			if err != nil {
+				return nil, fmt.Errorf("mc: decode: %w", err)
+			}
+			desc := wa.describe(a)
+			res.Transitions++
+			if err := wa.apply(a); err != nil {
+				res.Violation = &Violation{
+					Kind:  "protocol-error",
+					Msg:   err.Error(),
+					Trace: trace(key, desc),
+				}
+				res.States = len(visited)
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+			if msg := wa.checkInvariants(); msg != "" {
+				res.Violation = &Violation{
+					Kind:  "invariant",
+					Msg:   msg,
+					Trace: trace(key, desc),
+				}
+				res.States = len(visited)
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+			succ, err := wa.encode()
+			if err != nil {
+				return nil, fmt.Errorf("mc: encode: %w", err)
+			}
+			if _, seen := visited[succ]; !seen {
+				visited[succ] = parentInfo{parent: key, action: desc, depth: depth + 1}
+				frontier = append(frontier, succ)
+				if cfg.MaxStates > 0 && len(visited) >= cfg.MaxStates {
+					res.States = len(visited)
+					res.Elapsed = time.Since(start)
+					res.Violation = &Violation{Kind: "state-limit",
+						Msg: fmt.Sprintf("exploration stopped at %d states", len(visited))}
+					return res, nil
+				}
+			}
+		}
+		if res.Violation != nil {
+			break
+		}
+	}
+
+	res.States = len(visited)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func describeStall(w *World) string {
+	var stuck []string
+	for n, b := range w.stalled {
+		if b >= 0 {
+			stuck = append(stuck, fmt.Sprintf("node %d stalled on block %d (state %s)",
+				n, b, w.StateName(n, b)))
+		}
+	}
+	sort.Strings(stuck)
+	return "network empty, " + strings.Join(stuck, "; ")
+}

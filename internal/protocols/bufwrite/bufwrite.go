@@ -1,0 +1,280 @@
+// Package bufwrite implements the paper's Buffered-write variant of Stache
+// (§6): "a variant of the Stache protocol that attempts to overlap the
+// latency of acquiring a writable copy of a cache block with future
+// computation by buffering writes until a synchronization point. The
+// modification to Stache code involved adding 4 new states, 4 new message
+// types, and some support routines. This protocol requires an application
+// to have the synchronization needed by the weakly consistent memory
+// model."
+//
+// Here a write fault does not stall the processor: the write completes
+// into a local buffer (Tempest access mode Blk_Buffered) while the
+// writable copy is acquired in the background; a SYNC event per block
+// flushes — stalling only on blocks whose acquisition is still in flight.
+// Like the paper's version, it is composed from the Stache source.
+package bufwrite
+
+import (
+	"strings"
+
+	"teapot/internal/core"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/runtime"
+)
+
+// decls extends the protocol declaration block: one new event message and
+// the paper's four new states.
+const decls = `
+  var buffered : int;  -- outstanding buffered writes (merged on grant)
+
+  state Cache_Buf_Fill();
+  state Cache_Buf_Upgrade();
+  state Cache_SyncFill(C : CONT) transient;
+  state Cache_SyncUpgrade(C : CONT) transient;
+
+  message SYNC;
+`
+
+// newStates are the buffered acquisition and flush states.
+const newStates = `
+----------------------------------------------------------------------
+-- Buffered-write states
+----------------------------------------------------------------------
+
+-- A writable copy is being acquired while the processor keeps running;
+-- its stores land in the write buffer.
+state BufWrite.Cache_Buf_Fill()
+begin
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RecvData(id, Blk_ReadWrite);
+    buffered := 0;
+    SetState(info, Cache_RW{});
+  end;
+
+  -- A read cannot be buffered: wait for the fill.
+  message RD_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Suspend(L, Cache_SyncFill{L});
+    WakeUp(id);
+  end;
+
+  message SYNC (id : ID; var info : INFO; src : NODE)
+  begin
+    Suspend(L, Cache_SyncFill{L});
+    WakeUp(id);
+  end;
+
+  -- Invalidation addressed to a previous tenure.
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+-- An upgrade is in flight; the old read-only copy still serves loads and
+-- new stores are buffered (they re-fault and accumulate).
+state BufWrite.Cache_Buf_Upgrade()
+begin
+  message UPGRADE_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    AccessChange(id, Blk_ReadWrite);
+    buffered := 0;
+    SetState(info, Cache_RW{});
+  end;
+
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RecvData(id, Blk_ReadWrite);
+    buffered := 0;
+    SetState(info, Cache_RW{});
+  end;
+
+  -- More stores while upgrading: buffer them too.
+  message WR_RO_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    buffered := buffered + 1;
+    WakeUp(id);
+  end;
+
+  -- We lost the race: give up the copy and wait for the full grant.
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+    AccessChange(id, Blk_Invalidate);
+  end;
+
+  message SYNC (id : ID; var info : INFO; src : NODE)
+  begin
+    Suspend(L, Cache_SyncUpgrade{L});
+    WakeUp(id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+-- Stalled at a synchronization point (or on a read) until the buffered
+-- fill completes.
+state BufWrite.Cache_SyncFill(C : CONT)
+begin
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RecvData(id, Blk_ReadWrite);
+    buffered := 0;
+    SetState(info, Cache_RW{});
+    Resume(C);
+  end;
+
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state BufWrite.Cache_SyncUpgrade(C : CONT)
+begin
+  message UPGRADE_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    AccessChange(id, Blk_ReadWrite);
+    buffered := 0;
+    SetState(info, Cache_RW{});
+    Resume(C);
+  end;
+
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RecvData(id, Blk_ReadWrite);
+    buffered := 0;
+    SetState(info, Cache_RW{});
+    Resume(C);
+  end;
+
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+    AccessChange(id, Blk_Invalidate);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+`
+
+// syncNop is the SYNC handler for states with nothing pending.
+const syncNop = `
+  message SYNC (id : ID; var info : INFO; src : NODE)
+  begin
+    WakeUp(id);
+  end;
+`
+
+// bufferedWrFault replaces Cache_Inv's blocking write fault.
+const bufferedWrFault = `  message WR_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RW_REQ, id);
+    buffered := buffered + 1;
+    AccessChange(id, Blk_Buffered);
+    SetState(info, Cache_Buf_Fill{});
+    WakeUp(id);
+  end;
+`
+
+// bufferedUpgrade replaces Cache_RO's blocking upgrade fault.
+const bufferedUpgrade = `  message WR_RO_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), UPGRADE_REQ, id);
+    buffered := buffered + 1;
+    SetState(info, Cache_Buf_Upgrade{});
+    WakeUp(id);
+  end;
+`
+
+// Source is the assembled Buffered-write protocol.
+var Source = func() string {
+	src := stache.Source
+	src = replace1(src, "protocol Stache begin", "protocol BufWrite begin")
+	src = strings.ReplaceAll(src, "state Stache.", "state BufWrite.")
+	src = replace1(src, "  message EVICT_RO_ACK;\nend;", "  message EVICT_RO_ACK;\n"+decls+"end;")
+	// Replace the blocking write-fault handlers with buffering ones.
+	src = replace1(src, `  message WR_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RW_REQ, id);
+    Suspend(L, Cache_Inv_To_RW{L});
+    WakeUp(id);
+  end;
+`, bufferedWrFault)
+	src = replace1(src, `  message WR_RO_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), UPGRADE_REQ, id);
+    Suspend(L, Cache_RO_To_RW{L});
+    WakeUp(id);
+  end;
+`, bufferedUpgrade)
+	// SYNC completes immediately in the stable states.
+	for _, marker := range []string{
+		`Error("invalid msg %s to Cache_Inv"`,
+		`Error("invalid msg %s to Cache_RO"`,
+		`Error("invalid msg %s to Cache_RW"`,
+		`Error("invalid msg %s to Home_Idle"`,
+		`Error("invalid msg %s to Home_RS"`,
+		`Error("invalid msg %s to Home_Excl"`,
+	} {
+		at := strings.Index(src, marker)
+		if at < 0 {
+			panic("bufwrite: marker not found: " + marker)
+		}
+		// Insert before the "message DEFAULT" that contains the marker.
+		def := strings.LastIndex(src[:at], "  message DEFAULT")
+		src = src[:def] + syncNop + "\n" + src[def:]
+	}
+	return src + newStates
+}()
+
+func replace1(src, old, new string) string {
+	out := strings.Replace(src, old, new, 1)
+	if out == src {
+		panic("bufwrite: marker not found: " + old)
+	}
+	return out
+}
+
+// Compile compiles the Buffered-write protocol.
+func Compile(optimize bool) (*core.Artifacts, error) {
+	return core.Compile(core.Config{
+		Name:       "bufwrite.tea",
+		Source:     Source,
+		Optimize:   optimize,
+		HomeStart:  "Home_Idle",
+		CacheStart: "Cache_Inv",
+	})
+}
+
+// MustCompile panics on error.
+func MustCompile(optimize bool) *core.Artifacts {
+	a, err := Compile(optimize)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MustSupport builds the (Stache) support module — Buffered-write adds no
+// routines, only the buffered counter variable.
+func MustSupport(p *runtime.Protocol) *stache.Support {
+	return stache.MustSupport(p)
+}

@@ -1,0 +1,41 @@
+package bufwrite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompiles(t *testing.T) {
+	for _, opt := range []bool{false, true} {
+		a, err := Compile(opt)
+		if err != nil {
+			t.Fatalf("optimize=%v: %v", opt, err)
+		}
+		// Stache's 16 states + the 4 buffered-write states.
+		if got := len(a.Sema.States); got != 20 {
+			t.Errorf("states = %d, want 20", got)
+		}
+		if a.Sema.MessageByName("SYNC") == nil {
+			t.Error("SYNC message missing")
+		}
+	}
+}
+
+func TestSourceComposition(t *testing.T) {
+	// The blocking handlers must be gone and the buffering ones present.
+	if strings.Contains(Source, "Suspend(L, Cache_Inv_To_RW{L})") {
+		t.Error("blocking WR_FAULT handler still present")
+	}
+	for _, want := range []string{
+		"Cache_Buf_Fill", "Cache_Buf_Upgrade", "Cache_SyncFill",
+		"Cache_SyncUpgrade", "Blk_Buffered", "buffered := buffered + 1",
+	} {
+		if !strings.Contains(Source, want) {
+			t.Errorf("source missing %q", want)
+		}
+	}
+	// SYNC handled in all six stable states.
+	if got := strings.Count(Source, "message SYNC"); got < 7 {
+		t.Errorf("SYNC handlers = %d, want >= 7", got)
+	}
+}

@@ -1,0 +1,11 @@
+package lcm
+
+import "testing"
+
+func TestVariantsCompile(t *testing.T) {
+	for _, v := range []Variant{Base, Update, MCC, Both} {
+		if _, err := Compile(v, true); err != nil {
+			t.Errorf("%s: %v", v, err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package lcm
+
+import (
+	"fmt"
+
+	"teapot/internal/core"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/runtime"
+	"teapot/internal/vm"
+)
+
+// Compile compiles an LCM variant.
+func Compile(v Variant, optimize bool) (*core.Artifacts, error) {
+	return core.Compile(core.Config{
+		Name:       v.String() + ".tea",
+		Source:     Source(v),
+		Optimize:   optimize,
+		HomeStart:  "Home_Idle",
+		CacheStart: "Cache_Inv",
+	})
+}
+
+// MustCompile panics on error (the generated sources are tested).
+func MustCompile(v Variant, optimize bool) *core.Artifacts {
+	a, err := Compile(v, optimize)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Support implements the LCMSupport module. It reuses the Stache support
+// for sharer-set routines (consumers share the same bitmask — the set is
+// unused during a phase) and adds phase bookkeeping.
+type Support struct {
+	stache *stache.Support
+	nodes  int
+
+	sharersSlot int
+	holderSlot  int
+	updateMsg   int
+
+	// Merges counts reconciliations (per-run statistic).
+	Merges int64
+}
+
+// NewSupport builds the support module for a compiled LCM protocol.
+func NewSupport(p *runtime.Protocol, nodes int) (*Support, error) {
+	ss, err := stache.NewSupport(p)
+	if err != nil {
+		return nil, err
+	}
+	s := &Support{stache: ss, nodes: nodes, sharersSlot: -1, holderSlot: -1}
+	for _, v := range p.Sema().ProtVars {
+		switch v.Name {
+		case "sharers":
+			s.sharersSlot = v.Index
+		case "holder":
+			s.holderSlot = v.Index
+		}
+	}
+	s.updateMsg = p.MsgIndex("LCM_UPDATE")
+	if s.holderSlot < 0 || s.updateMsg < 0 {
+		return nil, fmt.Errorf("lcm support: protocol lacks holder/LCM_UPDATE")
+	}
+	return s, nil
+}
+
+// MustSupport panics on error.
+func MustSupport(p *runtime.Protocol, nodes int) *Support {
+	s, err := NewSupport(p, nodes)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Call implements runtime.Support.
+func (s *Support) Call(ctx *runtime.Ctx, name string, args []*vm.Value) (vm.Value, error) {
+	switch name {
+	case "Merge":
+		// Reconciliation of a PUT_ACCUM into the master copy. Data
+		// movement is modeled by the Data flag; here we only account for
+		// the merge work.
+		s.Merges++
+		return vm.Value{}, nil
+	case "RecordConsumer":
+		return s.stache.Call(ctx, "AddSharer", args)
+	case "ClearConsumers":
+		return s.stache.Call(ctx, "ClearSharers", args)
+	case "PushUpdates":
+		id := int(args[1].Int)
+		mask := ctx.Block.Vars[s.sharersSlot].Int
+		for n := 0; n < s.nodes; n++ {
+			if mask&(1<<uint(n)) == 0 || n == ctx.Engine.Node {
+				continue
+			}
+			ctx.Engine.Sends++
+			ctx.Engine.Machine.Send(ctx.Engine.Node, n, &runtime.Message{
+				Tag:  s.updateMsg,
+				ID:   id,
+				Src:  ctx.Engine.Node,
+				Data: true,
+			})
+		}
+		// The home never pushes to itself; drop it from the sharer set.
+		ctx.Block.Vars[s.sharersSlot] = vm.IntVal(mask &^ (1 << uint(ctx.Engine.Node)))
+		return vm.Value{}, nil
+	case "HasHolder":
+		return vm.BoolVal(ctx.Block.Vars[s.holderSlot].Int >= 0), nil
+	case "ClearHolder":
+		ctx.Block.Vars[s.holderSlot] = vm.NodeVal(-1)
+		return vm.Value{}, nil
+	}
+	return s.stache.Call(ctx, name, args)
+}
+
+// ModConst implements runtime.Support.
+func (s *Support) ModConst(ctx *runtime.Ctx, name string) vm.Value {
+	return s.stache.ModConst(ctx, name)
+}

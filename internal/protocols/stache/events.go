@@ -1,0 +1,102 @@
+package stache
+
+import (
+	"strings"
+
+	"teapot/internal/mc"
+	"teapot/internal/runtime"
+)
+
+// Events is the nondeterministic event generator for Stache verification:
+// any non-stalled processor may read, write, or (on a clean remote copy)
+// evict any block — the paper's "each node should process any stream of
+// loads and stores to any shared addresses" (§7, ~50 lines of Murphi for
+// Stache).
+type Events struct {
+	rd, wr, wrro, evict int
+	// Evictions can be disabled to shrink the state space.
+	WithEvictions bool
+}
+
+// NewEvents builds the generator for a compiled Stache-family protocol.
+func NewEvents(p *runtime.Protocol) *Events {
+	return &Events{
+		rd:            p.MsgIndex("RD_FAULT"),
+		wr:            p.MsgIndex("WR_FAULT"),
+		wrro:          p.MsgIndex("WR_RO_FAULT"),
+		evict:         p.MsgIndex("EVICT"),
+		WithEvictions: true,
+	}
+}
+
+// Enabled implements mc.EventGen.
+func (g *Events) Enabled(w *mc.World, node, block int) []mc.Event {
+	if w.Stalled(node) >= 0 {
+		return nil // single-issue processor is blocked on a fault
+	}
+	switch w.StateName(node, block) {
+	case "Cache_Inv":
+		return []mc.Event{
+			{Name: "RD_FAULT", Tag: g.rd, Stalls: true},
+			{Name: "WR_FAULT", Tag: g.wr, Stalls: true},
+		}
+	case "Cache_RO":
+		evs := []mc.Event{{Name: "WR_RO_FAULT", Tag: g.wrro, Stalls: true}}
+		if g.WithEvictions {
+			evs = append(evs, mc.Event{Name: "EVICT", Tag: g.evict})
+		}
+		return evs
+	case "Cache_RO_Evicting":
+		// The eviction handshake does not stall the processor, which may
+		// fault on the (now inaccessible) block before the ack arrives.
+		return []mc.Event{
+			{Name: "RD_FAULT", Tag: g.rd, Stalls: true},
+			{Name: "WR_FAULT", Tag: g.wr, Stalls: true},
+		}
+	case "Home_RS":
+		// The home processor writing a shared block.
+		return []mc.Event{{Name: "WR_RO_FAULT", Tag: g.wrro, Stalls: true}}
+	case "Home_Excl":
+		return []mc.Event{
+			{Name: "RD_FAULT", Tag: g.rd, Stalls: true},
+			{Name: "WR_FAULT", Tag: g.wr, Stalls: true},
+		}
+	}
+	return nil
+}
+
+// buggyHandler is the race handler whose removal reintroduces a deadlock
+// of the kind §7 reports Murphi finding in the heavily-used hand-written
+// Stache ("a particular interleaving of messages in the network"): if a
+// node waiting for an upgrade merely queues the home's invalidation, the
+// home waits forever for the acknowledgement while the node waits forever
+// for the upgrade response.
+const buggyHandler = `  -- The home invalidated us before seeing our upgrade: acknowledge, lose
+  -- the copy, and keep waiting — the home will answer the upgrade with a
+  -- full GET_RW_RESP once it processes it (we are no longer a sharer).
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+    AccessChange(id, Blk_Invalidate);
+  end;
+`
+
+// BuggySource is Stache with the upgrade/invalidate race handler removed;
+// the model checker finds the resulting deadlock (see the verification
+// example and mc tests).
+var BuggySource = func() string {
+	out := strings.Replace(Source, buggyHandler, "", 1)
+	if out == Source {
+		panic("stache: buggy handler marker not found")
+	}
+	return out
+}()
+
+// CompileBuggy compiles the seeded-bug variant.
+func CompileBuggy() (*runtime.Protocol, error) {
+	a, err := compileSource("stache-buggy.tea", BuggySource, true)
+	if err != nil {
+		return nil, err
+	}
+	return a.Protocol, nil
+}

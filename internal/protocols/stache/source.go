@@ -1,0 +1,662 @@
+// Package stache contains the Stache protocol written in Teapot (the
+// paper's base protocol, §2/§4), its Go support module, a hand-written
+// state-machine implementation used as the performance baseline for
+// Table 1, the Compare&Swap extension of §3 (Figure 6), and a seeded-bug
+// variant for the verification case study.
+//
+// Protocol overview (one state machine per block per node; home and cache
+// sides are states of the same machine, as in the paper):
+//
+//	Cache side: Cache_Inv, Cache_RO, Cache_RW plus the transient states
+//	Cache_Inv_To_RO, Cache_Inv_To_RW, Cache_RO_To_RW.
+//	Home side: Home_Idle, Home_RS, Home_Excl plus the subroutine states
+//	Home_AwaitPutData and Home_AwaitInvAcks (shared by four transitions —
+//	the code-reuse benefit §3 describes).
+//
+// Races handled:
+//   - upgrade vs. invalidate: a node waiting in Cache_RO_To_RW answers
+//     PUT_NO_DATA_REQ and keeps waiting; the home then satisfies its
+//     upgrade with a full GET_RW_RESP since the node is no longer a sharer;
+//   - eviction vs. invalidate: invalidation acknowledgements are counted
+//     per PUT_NO_DATA_REQ sent — every targeted node answers exactly once,
+//     whatever state it is in when the request arrives (Cache_RO,
+//     Cache_Inv after an eviction, or a transient refill state), and an
+//     EVICT_RO_NOTIFY only updates the sharer set, never substitutes for
+//     an acknowledgement;
+//   - request passing eviction in a reordering network (the paper's
+//     "seemingly gratuitous ReadRequest" scenario): a GET_RO_REQ from a
+//     node that is still recorded as a sharer is queued until the
+//     EVICT_RO_NOTIFY arrives and retried after that transition.
+package stache
+
+// Source is the Stache protocol in Teapot.
+const Source = `
+-- Stache: a simple S-COMA-style invalidation protocol (Reinhardt, Larus &
+-- Wood), written in Teapot. Block data movement is abstracted by the
+-- Tempest builtins SendData/RecvData; sharer bookkeeping lives in the
+-- support module.
+
+module StacheSupport begin
+  procedure AddSharer(var info : INFO; n : NODE);
+  procedure RemoveSharer(var info : INFO; n : NODE);
+  procedure ClearSharers(var info : INFO);
+  function IsSharer(info : INFO; n : NODE) : bool;
+  function NumSharers(info : INFO) : int;
+  -- Sends PUT_NO_DATA_REQ to every sharer except 'excl'; returns how many.
+  function InvalidateSharers(var info : INFO; excl : NODE; id : ID) : int;
+end;
+
+protocol Stache begin
+  var owner : NODE;     -- valid while the home side is in Home_Excl
+  var sharers : int;    -- sharer bitmask, managed by the support module
+
+  -- cache (non-home) side
+  state Cache_Inv();
+  state Cache_RO();
+  state Cache_RW();
+  state Cache_Inv_To_RO(C : CONT) transient;
+  -- Poisoned fill: an invalidation overtook the grant we are waiting for
+  -- (possible on a reordering network); the grant must be discarded.
+  state Cache_Inv_To_RO_P(C : CONT) transient;
+  state Cache_Inv_To_RW(C : CONT) transient;
+  state Cache_RO_To_RW(C : CONT) transient;
+  -- Acknowledged eviction handshake: the node gives up a clean copy and
+  -- waits for the home to confirm before issuing new requests, so an
+  -- eviction can never race with this node's own re-request.
+  state Cache_RO_Evicting() transient;
+  state Cache_Ev_To_RO(C : CONT) transient;
+  state Cache_Ev_To_RW(C : CONT) transient;
+  state Cache_P_Evicting(C : CONT) transient;
+
+  -- home side
+  state Home_Idle();
+  state Home_RS();
+  state Home_Excl();
+  state Home_AwaitPutData(C : CONT) transient;
+  state Home_AwaitInvAcks(C : CONT) transient;
+
+  -- local protocol events (delivered by Tempest on access faults and
+  -- cache management decisions)
+  message RD_FAULT;
+  message WR_FAULT;
+  message WR_RO_FAULT;
+  message EVICT;
+
+  -- network messages
+  message GET_RO_REQ;
+  message GET_RO_RESP;
+  message GET_RW_REQ;
+  message GET_RW_RESP;
+  message UPGRADE_REQ;
+  message UPGRADE_ACK;
+  message PUT_DATA_REQ;
+  message PUT_DATA_RESP;
+  message PUT_NO_DATA_REQ;
+  message PUT_NO_DATA_RESP;
+  message EVICT_RO_REQ;
+  message EVICT_RO_ACK;
+end;
+
+----------------------------------------------------------------------
+-- Cache side
+----------------------------------------------------------------------
+
+state Stache.Cache_Inv()
+begin
+  message RD_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RO_REQ, id);
+    Suspend(L, Cache_Inv_To_RO{L});
+    WakeUp(id);
+  end;
+
+  message WR_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RW_REQ, id);
+    Suspend(L, Cache_Inv_To_RW{L});
+    WakeUp(id);
+  end;
+
+  -- Invalidation that crossed our eviction notice: the home sent it while
+  -- we were still recorded as a sharer and is counting on our answer.
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("invalid msg %s to Cache_Inv", Msg_To_Str(MessageTag));
+  end;
+end;
+
+state Stache.Cache_Inv_To_RO(C : CONT)
+begin
+  message GET_RO_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RecvData(id, Blk_ReadOnly);
+    SetState(info, Cache_RO{});
+    Resume(C);
+  end;
+
+  -- Either a stale invalidation addressed to our previous (evicted)
+  -- tenure, or — on a reordering network — an invalidation that overtook
+  -- the grant we are waiting for. Answer it (the home counts on that),
+  -- and poison the pending fill: if the incoming grant predates the
+  -- invalidation we must not install it.
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+    SetState(info, Cache_Inv_To_RO_P{C});
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state Stache.Cache_Inv_To_RO_P(C : CONT)
+begin
+  -- Discard the (possibly stale) grant, return the copy through the
+  -- acknowledged handshake, and only then ask again.
+  message GET_RO_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), EVICT_RO_REQ, id);
+    SetState(info, Cache_P_Evicting{C});
+  end;
+
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state Stache.Cache_P_Evicting(C : CONT)
+begin
+  message EVICT_RO_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RO_REQ, id);
+    SetState(info, Cache_Inv_To_RO{C});
+  end;
+
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+-- Waiting for the home to confirm a voluntary eviction. The processor is
+-- not stalled, so it may fault on the block again; those faults wait for
+-- the acknowledgement and then re-issue the appropriate request.
+state Stache.Cache_RO_Evicting()
+begin
+  message EVICT_RO_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    SetState(info, Cache_Inv{});
+  end;
+
+  message RD_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Suspend(L, Cache_Ev_To_RO{L});
+    WakeUp(id);
+  end;
+
+  message WR_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Suspend(L, Cache_Ev_To_RW{L});
+    WakeUp(id);
+  end;
+
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state Stache.Cache_Ev_To_RO(C : CONT)
+begin
+  message EVICT_RO_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RO_REQ, id);
+    SetState(info, Cache_Inv_To_RO{C});
+  end;
+
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state Stache.Cache_Ev_To_RW(C : CONT)
+begin
+  message EVICT_RO_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RW_REQ, id);
+    SetState(info, Cache_Inv_To_RW{C});
+  end;
+
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state Stache.Cache_Inv_To_RW(C : CONT)
+begin
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RecvData(id, Blk_ReadWrite);
+    SetState(info, Cache_RW{});
+    Resume(C);
+  end;
+
+  -- Invalidation aimed at our previous (evicted) tenure; answer it.
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state Stache.Cache_RO()
+begin
+  message WR_RO_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), UPGRADE_REQ, id);
+    Suspend(L, Cache_RO_To_RW{L});
+    WakeUp(id);
+  end;
+
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+    SetState(info, Cache_Inv{});
+    AccessChange(id, Blk_Invalidate);
+  end;
+
+  -- Voluntary eviction of a clean read-only copy (the paper's PutNoData),
+  -- as an acknowledged handshake.
+  message EVICT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), EVICT_RO_REQ, id);
+    SetState(info, Cache_RO_Evicting{});
+    AccessChange(id, Blk_Invalidate);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("invalid msg %s to Cache_RO", Msg_To_Str(MessageTag));
+  end;
+end;
+
+state Stache.Cache_RO_To_RW(C : CONT)
+begin
+  message UPGRADE_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    SetState(info, Cache_RW{});
+    AccessChange(id, Blk_ReadWrite);
+    Resume(C);
+  end;
+
+  -- The home invalidated us before seeing our upgrade: acknowledge, lose
+  -- the copy, and keep waiting — the home will answer the upgrade with a
+  -- full GET_RW_RESP once it processes it (we are no longer a sharer).
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+    AccessChange(id, Blk_Invalidate);
+  end;
+
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RecvData(id, Blk_ReadWrite);
+    SetState(info, Cache_RW{});
+    Resume(C);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state Stache.Cache_RW()
+begin
+  message PUT_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(HomeNode(id), PUT_DATA_RESP, id);
+    SetState(info, Cache_Inv{});
+    AccessChange(id, Blk_Invalidate);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("invalid msg %s to Cache_RW", Msg_To_Str(MessageTag));
+  end;
+end;
+
+----------------------------------------------------------------------
+-- Home side
+----------------------------------------------------------------------
+
+state Stache.Home_Idle()
+begin
+  message GET_RO_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(src, GET_RO_RESP, id);
+    AddSharer(info, src);
+    AccessChange(id, Blk_ReadOnly);
+    SetState(info, Home_RS{});
+  end;
+
+  message GET_RW_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(src, GET_RW_RESP, id);
+    owner := src;
+    AccessChange(id, Blk_Invalidate);
+    SetState(info, Home_Excl{});
+  end;
+
+  -- An upgrade from a node we no longer consider a sharer (its copy was
+  -- lost to a race): grant a full writable copy.
+  message UPGRADE_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(src, GET_RW_RESP, id);
+    owner := src;
+    AccessChange(id, Blk_Invalidate);
+    SetState(info, Home_Excl{});
+  end;
+
+  -- Eviction handshake for a node we no longer track; acknowledge so the
+  -- node can move on.
+  message EVICT_RO_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(src, EVICT_RO_ACK, id);
+  end;
+
+  -- Stale local faults, deferred during an intermediate state and retried
+  -- here where the home already has full access: just unstall — the
+  -- processor rechecks access and proceeds.
+  message RD_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    WakeUp(id);
+  end;
+
+  message WR_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    WakeUp(id);
+  end;
+
+  message WR_RO_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    WakeUp(id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("invalid msg %s to Home_Idle", Msg_To_Str(MessageTag));
+  end;
+end;
+
+state Stache.Home_RS()
+begin
+  message GET_RO_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    if (IsSharer(info, src)) then
+      -- The request passed the node's eviction notice in the network
+      -- (the paper's reordering scenario): hold it until the notice
+      -- arrives and this state transitions.
+      Enqueue(MessageTag, id, info, src);
+    else
+      SendData(src, GET_RO_RESP, id);
+      AddSharer(info, src);
+    endif;
+  end;
+
+  message UPGRADE_REQ (id : ID; var info : INFO; src : NODE)
+  var pending : int;
+  begin
+    pending := InvalidateSharers(info, src, id);
+    while (pending > 0) do
+      Suspend(L, Home_AwaitInvAcks{L});
+      pending := pending - 1;
+    end;
+    if (IsSharer(info, src)) then
+      Send(src, UPGRADE_ACK, id);
+    else
+      SendData(src, GET_RW_RESP, id);
+    endif;
+    ClearSharers(info);
+    owner := src;
+    AccessChange(id, Blk_Invalidate);
+    SetState(info, Home_Excl{});
+  end;
+
+  message GET_RW_REQ (id : ID; var info : INFO; src : NODE)
+  var pending : int;
+  begin
+    if (IsSharer(info, src)) then
+      -- Request passed the node's eviction notice; wait for the notice.
+      Enqueue(MessageTag, id, info, src);
+    else
+      pending := InvalidateSharers(info, src, id);
+      while (pending > 0) do
+        Suspend(L, Home_AwaitInvAcks{L});
+        pending := pending - 1;
+      end;
+      ClearSharers(info);
+      SendData(src, GET_RW_RESP, id);
+      owner := src;
+      AccessChange(id, Blk_Invalidate);
+      SetState(info, Home_Excl{});
+    endif;
+  end;
+
+  -- The home processor itself wants to write a shared block.
+  message WR_RO_FAULT (id : ID; var info : INFO; src : NODE)
+  var pending : int;
+  begin
+    pending := InvalidateSharers(info, MyNode(), id);
+    while (pending > 0) do
+      Suspend(L, Home_AwaitInvAcks{L});
+      pending := pending - 1;
+    end;
+    ClearSharers(info);
+    AccessChange(id, Blk_ReadWrite);
+    SetState(info, Home_Idle{});
+    WakeUp(id);
+  end;
+
+  -- A stale deferred write fault (raised while the block was remotely
+  -- owned, retried after it came back shared): same as an upgrade.
+  message WR_FAULT (id : ID; var info : INFO; src : NODE)
+  var pending : int;
+  begin
+    pending := InvalidateSharers(info, MyNode(), id);
+    while (pending > 0) do
+      Suspend(L, Home_AwaitInvAcks{L});
+      pending := pending - 1;
+    end;
+    ClearSharers(info);
+    AccessChange(id, Blk_ReadWrite);
+    SetState(info, Home_Idle{});
+    WakeUp(id);
+  end;
+
+  -- A stale deferred read fault: the home can already read a shared block.
+  message RD_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    WakeUp(id);
+  end;
+
+  message EVICT_RO_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    RemoveSharer(info, src);
+    Send(src, EVICT_RO_ACK, id);
+    if (NumSharers(info) = 0) then
+      AccessChange(id, Blk_ReadWrite);
+      SetState(info, Home_Idle{});
+    else
+      -- Self-transition so deferred requests from this node are retried.
+      SetState(info, Home_RS{});
+    endif;
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("invalid msg %s to Home_RS", Msg_To_Str(MessageTag));
+  end;
+end;
+
+state Stache.Home_Excl()
+begin
+  message GET_RO_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(owner, PUT_DATA_REQ, id);
+    Suspend(L, Home_AwaitPutData{L});
+    SendData(src, GET_RO_RESP, id);
+    AddSharer(info, src);
+    AccessChange(id, Blk_ReadOnly);
+    SetState(info, Home_RS{});
+  end;
+
+  message GET_RW_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(owner, PUT_DATA_REQ, id);
+    Suspend(L, Home_AwaitPutData{L});
+    SendData(src, GET_RW_RESP, id);
+    owner := src;
+    AccessChange(id, Blk_Invalidate);
+    SetState(info, Home_Excl{});
+  end;
+
+  message UPGRADE_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(owner, PUT_DATA_REQ, id);
+    Suspend(L, Home_AwaitPutData{L});
+    SendData(src, GET_RW_RESP, id);
+    owner := src;
+    AccessChange(id, Blk_Invalidate);
+    SetState(info, Home_Excl{});
+  end;
+
+  message RD_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(owner, PUT_DATA_REQ, id);
+    Suspend(L, Home_AwaitPutData{L});
+    AccessChange(id, Blk_ReadWrite);
+    SetState(info, Home_Idle{});
+    WakeUp(id);
+  end;
+
+  message WR_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(owner, PUT_DATA_REQ, id);
+    Suspend(L, Home_AwaitPutData{L});
+    AccessChange(id, Blk_ReadWrite);
+    SetState(info, Home_Idle{});
+    WakeUp(id);
+  end;
+
+  -- A stale deferred write-on-shared fault (the sharers were since
+  -- invalidated and the block handed to a remote owner): recall it.
+  message WR_RO_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(owner, PUT_DATA_REQ, id);
+    Suspend(L, Home_AwaitPutData{L});
+    AccessChange(id, Blk_ReadWrite);
+    SetState(info, Home_Idle{});
+    WakeUp(id);
+  end;
+
+  -- Eviction handshake left over from the previous read-shared epoch:
+  -- the node is no longer a sharer; just acknowledge.
+  message EVICT_RO_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(src, EVICT_RO_ACK, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("invalid msg %s to Home_Excl", Msg_To_Str(MessageTag));
+  end;
+end;
+
+-- Subroutine state shared by every transition that waits for the current
+-- owner to give the block back (four call sites — the code reuse §3
+-- highlights).
+state Stache.Home_AwaitPutData(C : CONT)
+begin
+  message PUT_DATA_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RecvData(id, Blk_ReadOnly);
+    Resume(C);
+  end;
+
+  -- Eviction handshake from an epoch that ended before we handed the
+  -- block to the current owner; just acknowledge.
+  message EVICT_RO_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(src, EVICT_RO_ACK, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+-- Subroutine state shared by every transition that collects one
+-- invalidation acknowledgement. Acknowledgements are counted strictly per
+-- PUT_NO_DATA_REQ sent; an eviction notice only updates the sharer set
+-- (its sender will still answer the request from Cache_Inv).
+state Stache.Home_AwaitInvAcks(C : CONT)
+begin
+  message PUT_NO_DATA_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RemoveSharer(info, src);
+    Resume(C);
+  end;
+
+  message EVICT_RO_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    RemoveSharer(info, src);
+    Send(src, EVICT_RO_ACK, id);
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+`

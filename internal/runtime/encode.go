@@ -1,0 +1,260 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"teapot/internal/vm"
+)
+
+// State snapshot/restore support for the model checker. The encoding is
+// canonical: two engines with identical logical state produce identical
+// bytes. Continuations are encoded by their suspend-site ID plus saved
+// values, which is exactly what makes the "same source" verification of §7
+// possible over the compiled representation.
+
+// Encoder serializes values into a canonical byte form.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated encoding.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Int encodes a signed integer.
+func (e *Encoder) Int(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// Str encodes a string.
+func (e *Encoder) Str(s string) {
+	e.Int(int64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Byte encodes one byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Decoder reads the canonical byte form.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder wraps a buffer.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Int decodes a signed integer.
+func (d *Decoder) Int() int64 {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		panic("runtime: corrupt state encoding (varint)")
+	}
+	d.off += n
+	return v
+}
+
+// Str decodes a string.
+func (d *Decoder) Str() string {
+	n := int(d.Int())
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// Byte decodes one byte.
+func (d *Decoder) Byte() byte {
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// AbstractCodec lets a support module participate in snapshots when a
+// protocol stores abstract values in block variables or continuations.
+type AbstractCodec interface {
+	EncodeAbstract(v any, e *Encoder) error
+	DecodeAbstract(d *Decoder) (any, error)
+}
+
+// EncodeValue writes one value. The engine is needed to resolve
+// continuations; codec may be nil when no abstract values occur.
+func (e *Engine) EncodeValue(enc *Encoder, v vm.Value, codec AbstractCodec) error {
+	enc.Byte(byte(v.Kind))
+	switch v.Kind {
+	case vm.KNil:
+	case vm.KInt, vm.KBool, vm.KNode, vm.KID, vm.KMsg, vm.KAccess:
+		enc.Int(v.Int)
+	case vm.KString:
+		enc.Str(v.Str)
+	case vm.KState:
+		sv := v.State()
+		enc.Int(int64(sv.State))
+		enc.Int(int64(len(sv.Args)))
+		for _, a := range sv.Args {
+			if err := e.EncodeValue(enc, a, codec); err != nil {
+				return err
+			}
+		}
+	case vm.KCont:
+		c := v.Cont()
+		enc.Int(int64(c.Site))
+		enc.Int(int64(len(c.Saved)))
+		for _, a := range c.Saved {
+			if err := e.EncodeValue(enc, a, codec); err != nil {
+				return err
+			}
+		}
+	case vm.KInfo:
+		// The info handle always refers to the enclosing block.
+	case vm.KAbstract:
+		if codec == nil {
+			return fmt.Errorf("runtime: abstract value in state but no codec provided")
+		}
+		return codec.EncodeAbstract(v.Ref, enc)
+	default:
+		return fmt.Errorf("runtime: cannot encode value kind %d", v.Kind)
+	}
+	return nil
+}
+
+// DecodeValue reads one value; block is the block whose info handles are
+// being reconstructed.
+func (e *Engine) DecodeValue(d *Decoder, block *Block, codec AbstractCodec) (vm.Value, error) {
+	kind := vm.Kind(d.Byte())
+	switch kind {
+	case vm.KNil:
+		return vm.Value{}, nil
+	case vm.KInt, vm.KBool, vm.KNode, vm.KID, vm.KMsg, vm.KAccess:
+		return vm.Value{Kind: kind, Int: d.Int()}, nil
+	case vm.KString:
+		return vm.StringVal(d.Str()), nil
+	case vm.KState:
+		sv := &vm.StateVal{State: int(d.Int())}
+		n := int(d.Int())
+		for i := 0; i < n; i++ {
+			a, err := e.DecodeValue(d, block, codec)
+			if err != nil {
+				return vm.Value{}, err
+			}
+			sv.Args = append(sv.Args, a)
+		}
+		return vm.StateValue(sv), nil
+	case vm.KCont:
+		site := int(d.Int())
+		if site < 0 || site >= len(e.Proto.IR.Sites) {
+			return vm.Value{}, fmt.Errorf("runtime: bad suspend site %d in encoding", site)
+		}
+		s := e.Proto.IR.Sites[site]
+		c := &vm.Cont{Fn: s.Func, Frag: s.FragIdx, Site: site}
+		n := int(d.Int())
+		for i := 0; i < n; i++ {
+			a, err := e.DecodeValue(d, block, codec)
+			if err != nil {
+				return vm.Value{}, err
+			}
+			c.Saved = append(c.Saved, a)
+		}
+		return vm.ContVal(c), nil
+	case vm.KInfo:
+		return vm.InfoVal(block), nil
+	case vm.KAbstract:
+		if codec == nil {
+			return vm.Value{}, fmt.Errorf("runtime: abstract value in encoding but no codec provided")
+		}
+		ref, err := codec.DecodeAbstract(d)
+		if err != nil {
+			return vm.Value{}, err
+		}
+		return vm.AbstractVal(ref), nil
+	}
+	return vm.Value{}, fmt.Errorf("runtime: cannot decode value kind %d", kind)
+}
+
+// EncodeMessage writes a message (without its destination, which the
+// channel key carries).
+func (e *Engine) EncodeMessage(enc *Encoder, m *Message, codec AbstractCodec) error {
+	enc.Int(int64(m.Tag))
+	enc.Int(int64(m.ID))
+	enc.Int(int64(m.Src))
+	if m.Data {
+		enc.Byte(1)
+	} else {
+		enc.Byte(0)
+	}
+	enc.Int(int64(len(m.Payload)))
+	for _, v := range m.Payload {
+		if err := e.EncodeValue(enc, v, codec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeMessage reads a message encoded by EncodeMessage.
+func (e *Engine) DecodeMessage(d *Decoder, codec AbstractCodec) (*Message, error) {
+	m := &Message{Tag: int(d.Int()), ID: int(d.Int()), Src: int(d.Int())}
+	m.Data = d.Byte() == 1
+	n := int(d.Int())
+	block := e.Blocks[m.ID]
+	for i := 0; i < n; i++ {
+		v, err := e.DecodeValue(d, block, codec)
+		if err != nil {
+			return nil, err
+		}
+		m.Payload = append(m.Payload, v)
+	}
+	return m, nil
+}
+
+// EncodeState writes the engine's full protocol state (all blocks: state
+// value, protocol variables, deferred queue).
+func (e *Engine) EncodeState(enc *Encoder, codec AbstractCodec) error {
+	for _, b := range e.Blocks {
+		if err := e.EncodeValue(enc, vm.StateValue(b.State), codec); err != nil {
+			return err
+		}
+		for _, v := range b.Vars {
+			if err := e.EncodeValue(enc, v, codec); err != nil {
+				return err
+			}
+		}
+		enc.Int(int64(len(b.Deferred)))
+		for _, m := range b.Deferred {
+			if err := e.EncodeMessage(enc, m, codec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeState restores the engine's protocol state from an encoding
+// produced by EncodeState on an engine with the same shape.
+func (e *Engine) DecodeState(d *Decoder, codec AbstractCodec) error {
+	for _, b := range e.Blocks {
+		sv, err := e.DecodeValue(d, b, codec)
+		if err != nil {
+			return err
+		}
+		b.State = sv.State()
+		if b.State == nil {
+			return fmt.Errorf("runtime: block %d decoded non-state", b.ID)
+		}
+		for i := range b.Vars {
+			if b.Vars[i], err = e.DecodeValue(d, b, codec); err != nil {
+				return err
+			}
+		}
+		n := int(d.Int())
+		b.Deferred = nil
+		for i := 0; i < n; i++ {
+			m, err := e.DecodeMessage(d, codec)
+			if err != nil {
+				return err
+			}
+			b.Deferred = append(b.Deferred, m)
+		}
+		b.transitioned = false
+	}
+	return nil
+}

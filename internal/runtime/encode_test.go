@@ -1,0 +1,182 @@
+package runtime_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"teapot/internal/core"
+	"teapot/internal/runtime"
+	"teapot/internal/vm"
+)
+
+// encodeFixture builds an engine over a protocol with suspend sites so
+// continuations can be encoded.
+func encodeFixture(t *testing.T) (*runtime.Engine, *runtime.Protocol) {
+	t.Helper()
+	art := core.MustCompile(core.Config{
+		Name: "toy.tea", Source: toyProtocol, Optimize: true,
+		HomeStart: "H_Idle", CacheStart: "C_Idle",
+	})
+	m := newTestMachine()
+	e := runtime.NewEngine(art.Protocol, 1, 3, m, nullSupport{})
+	m.engines = append(m.engines, nil, e)
+	return e, art.Protocol
+}
+
+// randomValue generates an encodable value; depth bounds nesting.
+func randomValue(rng *rand.Rand, e *runtime.Engine, depth int) vm.Value {
+	switch k := rng.Intn(8); {
+	case k == 0:
+		return vm.IntVal(rng.Int63n(1000) - 500)
+	case k == 1:
+		return vm.BoolVal(rng.Intn(2) == 0)
+	case k == 2:
+		return vm.NodeVal(rng.Intn(8) - 1)
+	case k == 3:
+		return vm.IDVal(rng.Intn(3))
+	case k == 4:
+		return vm.MsgVal(rng.Intn(4))
+	case k == 5:
+		return vm.StringVal("s" + string(rune('a'+rng.Intn(26))))
+	case k == 6 && depth > 0:
+		sv := &vm.StateVal{State: rng.Intn(len(e.Proto.IR.Sema.States))}
+		for i := 0; i < rng.Intn(3); i++ {
+			sv.Args = append(sv.Args, randomValue(rng, e, depth-1))
+		}
+		return vm.StateValue(sv)
+	case k == 7 && depth > 0 && len(e.Proto.IR.Sites) > 0:
+		site := e.Proto.IR.Sites[rng.Intn(len(e.Proto.IR.Sites))]
+		c := &vm.Cont{Fn: site.Func, Frag: site.FragIdx, Site: site.ID}
+		for range site.Func.Frags[site.FragIdx].Saved {
+			c.Saved = append(c.Saved, randomValue(rng, e, 0))
+		}
+		return vm.ContVal(c)
+	}
+	return vm.Value{}
+}
+
+// TestValueRoundTripProperty: encode∘decode is the identity on encodable
+// values (up to vm.Equal and re-encoding).
+func TestValueRoundTripProperty(t *testing.T) {
+	e, _ := encodeFixture(t)
+	block := e.Blocks[0]
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomValue(rng, e, 2)
+		enc := &runtime.Encoder{}
+		if err := e.EncodeValue(enc, v, nil); err != nil {
+			return false
+		}
+		got, err := e.DecodeValue(runtime.NewDecoder(enc.Bytes()), block, nil)
+		if err != nil {
+			return false
+		}
+		// Continuations compare by re-encoding (pointer identity differs).
+		enc2 := &runtime.Encoder{}
+		if err := e.EncodeValue(enc2, got, nil); err != nil {
+			return false
+		}
+		return string(enc.Bytes()) == string(enc2.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStateRoundTrip: a full engine snapshot decodes to a state that
+// re-encodes identically (canonical form).
+func TestStateRoundTrip(t *testing.T) {
+	e, p := encodeFixture(t)
+	rng := rand.New(rand.NewSource(42))
+	// Randomize block states, vars, and deferred queues.
+	for _, b := range e.Blocks {
+		sv := randomValue(rng, e, 1)
+		for sv.State() == nil {
+			sv = vm.StateValue(&vm.StateVal{State: rng.Intn(len(p.IR.Sema.States))})
+		}
+		b.State = sv.State()
+		for i := range b.Vars {
+			b.Vars[i] = vm.IntVal(rng.Int63n(100))
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			b.Deferred = append(b.Deferred, &runtime.Message{
+				Tag: rng.Intn(4), ID: b.ID, Src: rng.Intn(4),
+			})
+		}
+	}
+	enc := &runtime.Encoder{}
+	if err := e.EncodeState(enc, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Decode into a fresh engine of the same shape.
+	art := core.MustCompile(core.Config{
+		Name: "toy.tea", Source: toyProtocol, Optimize: true,
+		HomeStart: "H_Idle", CacheStart: "C_Idle",
+	})
+	m2 := newTestMachine()
+	e2 := runtime.NewEngine(art.Protocol, 1, 3, m2, nullSupport{})
+	if err := e2.DecodeState(runtime.NewDecoder(enc.Bytes()), nil); err != nil {
+		t.Fatal(err)
+	}
+	enc2 := &runtime.Encoder{}
+	if err := e2.EncodeState(enc2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if string(enc.Bytes()) != string(enc2.Bytes()) {
+		t.Error("snapshot round trip not canonical")
+	}
+	// Deferred queues survive.
+	for i, b := range e.Blocks {
+		if len(b.Deferred) != len(e2.Blocks[i].Deferred) {
+			t.Errorf("block %d deferred: %d vs %d", i, len(b.Deferred), len(e2.Blocks[i].Deferred))
+		}
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	e, _ := encodeFixture(t)
+	msg := &runtime.Message{
+		Tag: 2, ID: 1, Src: 3, Data: true,
+		Payload: []vm.Value{vm.IntVal(7), vm.BoolVal(true), vm.StringVal("x")},
+	}
+	enc := &runtime.Encoder{}
+	if err := e.EncodeMessage(enc, msg, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.DecodeMessage(runtime.NewDecoder(enc.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != 2 || got.ID != 1 || got.Src != 3 || !got.Data || len(got.Payload) != 3 {
+		t.Errorf("got %+v", got)
+	}
+	if got.Payload[0].Int != 7 || !got.Payload[1].Bool() || got.Payload[2].Str != "x" {
+		t.Errorf("payload = %v", got.Payload)
+	}
+}
+
+func TestEncoderPrimitives(t *testing.T) {
+	enc := &runtime.Encoder{}
+	enc.Int(-123456)
+	enc.Str("hello")
+	enc.Byte(0xAB)
+	d := runtime.NewDecoder(enc.Bytes())
+	if got := d.Int(); got != -123456 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := d.Byte(); got != 0xAB {
+		t.Errorf("Byte = %x", got)
+	}
+}
+
+func TestAbstractValueWithoutCodecFails(t *testing.T) {
+	e, _ := encodeFixture(t)
+	enc := &runtime.Encoder{}
+	if err := e.EncodeValue(enc, vm.AbstractVal("opaque"), nil); err == nil {
+		t.Error("expected error encoding abstract value without codec")
+	}
+}

@@ -1,0 +1,392 @@
+// Package runtime executes compiled Teapot protocols: it owns per-block
+// protocol state on one node, dispatches protocol events (access faults and
+// incoming messages) to handlers, implements the Suspend/Resume and
+// deferred-queue disciplines, and routes Tempest-style effects to the
+// machine substrate (the simulator or the model checker).
+package runtime
+
+import (
+	"fmt"
+
+	"teapot/internal/cont"
+	"teapot/internal/ir"
+	"teapot/internal/sema"
+	"teapot/internal/vm"
+)
+
+// Message is a protocol message (or a locally generated protocol event such
+// as an access fault, which the paper also treats as a protocol event
+// dispatched through the same automaton).
+type Message struct {
+	Tag     int // message index in the protocol
+	ID      int // block the message concerns
+	Src     int // sending node
+	Payload []vm.Value
+	Data    bool // message carries the block's data
+}
+
+// Protocol is a compiled protocol plus execution options, shared by all
+// engines (one per node).
+type Protocol struct {
+	IR   *ir.Program
+	Opts cont.Options
+
+	// Initial states for blocks on their home node and elsewhere.
+	HomeStart  int
+	CacheStart int
+}
+
+// Sema returns the semantic model.
+func (p *Protocol) Sema() *sema.Program { return p.IR.Sema }
+
+// MsgIndex resolves a message name, or -1.
+func (p *Protocol) MsgIndex(name string) int {
+	if m := p.IR.Sema.MessageByName(name); m != nil {
+		return m.Index
+	}
+	return -1
+}
+
+// StateIndex resolves a state name, or -1.
+func (p *Protocol) StateIndex(name string) int {
+	if s := p.IR.Sema.StateByName(name); s != nil {
+		return s.Index
+	}
+	return -1
+}
+
+// Machine is the substrate an engine runs against.
+type Machine interface {
+	// Send transmits a message from this node.
+	Send(from int, dst int, m *Message)
+	// AccessChange updates fine-grain access control for (node, block).
+	AccessChange(node, id int, mode sema.AccessMode)
+	// RecvData installs the current message's data into local memory.
+	RecvData(node, id int, mode sema.AccessMode)
+	// WakeUp unstalls the processor waiting on block id.
+	WakeUp(node, id int)
+	// HomeNode returns the home node of a block.
+	HomeNode(id int) int
+	// Print emits protocol debug output.
+	Print(node int, s string)
+}
+
+// Support supplies the implementations of module routines and abstract
+// constants. Implementations keep their own per-(node, block) data.
+type Support interface {
+	// Call invokes routine name. args are by-reference; var parameters may
+	// be mutated in place.
+	Call(ctx *Ctx, name string, args []*vm.Value) (vm.Value, error)
+	// ModConst resolves an abstract module constant.
+	ModConst(ctx *Ctx, name string) vm.Value
+}
+
+// Ctx is passed to support routines: which engine, block, and message are
+// currently being processed.
+type Ctx struct {
+	Engine *Engine
+	Block  *Block
+	Msg    *Message
+}
+
+// Block is the per-block protocol state on one node.
+type Block struct {
+	ID       int
+	State    *vm.StateVal
+	Vars     []vm.Value
+	Deferred []*Message
+
+	transitioned bool
+}
+
+// StateName returns the block's current state name.
+func (b *Block) StateName(p *Protocol) string {
+	return p.IR.Sema.States[b.State.State].Name
+}
+
+// ProtocolError is a protocol-level failure (the Error builtin, an
+// unhandled message, a runaway handler); the model checker treats it as an
+// invariant violation.
+type ProtocolError struct {
+	Node  int
+	Block int
+	State string
+	Msg   string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("protocol error on node %d, block %d (state %s): %s", e.Node, e.Block, e.State, e.Msg)
+}
+
+// Engine executes one node's share of the protocol.
+type Engine struct {
+	Proto   *Protocol
+	Node    int
+	Machine Machine
+	Support Support
+	Exec    vm.Exec
+
+	Blocks []*Block
+
+	// QueueRecords counts deferred-queue record allocations (included in
+	// the paper's Table 1/2 "Allocs" columns alongside continuations).
+	QueueRecords int64
+	// Sends counts messages sent by this engine (for cost accounting).
+	Sends int64
+
+	// cur is the in-flight dispatch context.
+	cur struct {
+		msg   *Message
+		block *Block
+		enq   bool // current message was enqueued
+		drop  bool
+	}
+}
+
+// NewEngine builds an engine for a node managing numBlocks blocks.
+func NewEngine(p *Protocol, node, numBlocks int, m Machine, sup Support) *Engine {
+	e := &Engine{Proto: p, Node: node, Machine: m, Support: sup}
+	e.Exec = vm.Exec{Prog: p.IR, ConstCont: p.Opts.ConstCont}
+	e.Blocks = make([]*Block, numBlocks)
+	for i := range e.Blocks {
+		e.Blocks[i] = e.newBlock(i)
+	}
+	return e
+}
+
+func (e *Engine) newBlock(id int) *Block {
+	start := e.Proto.CacheStart
+	if e.Machine.HomeNode(id) == e.Node {
+		start = e.Proto.HomeStart
+	}
+	b := &Block{
+		ID:    id,
+		State: &vm.StateVal{State: start},
+		Vars:  make([]vm.Value, len(e.Proto.IR.Sema.ProtVars)),
+	}
+	for i, v := range e.Proto.IR.Sema.ProtVars {
+		b.Vars[i] = zeroValue(v.Type)
+	}
+	return b
+}
+
+func zeroValue(t sema.Type) vm.Value {
+	switch t.Kind {
+	case sema.TInt:
+		return vm.IntVal(0)
+	case sema.TBool:
+		return vm.BoolVal(false)
+	case sema.TNode:
+		return vm.NodeVal(-1)
+	case sema.TID:
+		return vm.IDVal(-1)
+	case sema.TMsg:
+		return vm.MsgVal(-1)
+	case sema.TAccess:
+		return vm.AccessVal(0)
+	case sema.TState, sema.TCont, sema.TAbstract:
+		return vm.Value{} // nil until assigned
+	}
+	return vm.Value{}
+}
+
+// Counters exposes accumulated VM counters.
+func (e *Engine) Counters() vm.Counters { return e.Exec.Counters }
+
+// Deliver dispatches a message to its block's current state, then drains
+// the block's deferred queue as long as transitions keep occurring (the
+// queued-unexpected-messages discipline from §2/§3: deferred messages are
+// retried after a transition out of the state).
+func (e *Engine) Deliver(m *Message) error {
+	b := e.Blocks[m.ID]
+	b.transitioned = false // retries are triggered by *this* delivery's transitions
+	if err := e.dispatch(b, m); err != nil {
+		return err
+	}
+	return e.drain(b)
+}
+
+const maxDrainPasses = 10000
+
+func (e *Engine) drain(b *Block) error {
+	for pass := 0; b.transitioned && len(b.Deferred) > 0; pass++ {
+		if pass > maxDrainPasses {
+			return e.errf(b, "deferred queue never drained (livelock)")
+		}
+		b.transitioned = false
+		q := b.Deferred
+		b.Deferred = nil
+		for i, m := range q {
+			if err := e.dispatch(b, m); err != nil {
+				return err
+			}
+			// If the handler transitioned, newer queue order still holds:
+			// remaining messages stay in arrival order after any the
+			// handler re-enqueued.
+			_ = i
+		}
+	}
+	return nil
+}
+
+func (e *Engine) dispatch(b *Block, m *Message) error {
+	f := e.Proto.IR.FuncFor(b.State.State, m.Tag)
+	if f == nil {
+		return e.errf(b, "no handler for message %s in state %s",
+			e.msgName(m.Tag), b.StateName(e.Proto))
+	}
+	prevMsg, prevBlock := e.cur.msg, e.cur.block
+	e.cur.msg, e.cur.block = m, b
+	defer func() { e.cur.msg, e.cur.block = prevMsg, prevBlock }()
+
+	params := make([]vm.Value, 0, f.NumParams)
+	params = append(params, vm.IDVal(m.ID), vm.InfoVal(b), vm.NodeVal(m.Src))
+	params = append(params, m.Payload...)
+	if len(params) != f.NumParams {
+		return e.errf(b, "message %s delivered with %d payload values, handler %s expects %d",
+			e.msgName(m.Tag), len(m.Payload), f.Name, f.NumParams-3)
+	}
+	return e.Exec.RunHandler(e, f, b.State.Args, params)
+}
+
+// InjectEvent synthesizes a locally generated protocol event (access fault,
+// synchronization, phase boundary) as a message from this node.
+func (e *Engine) InjectEvent(tag, id int, payload ...vm.Value) error {
+	return e.Deliver(&Message{Tag: tag, ID: id, Src: e.Node, Payload: payload})
+}
+
+func (e *Engine) msgName(tag int) string {
+	if tag >= 0 && tag < len(e.Proto.IR.Sema.Messages) {
+		return e.Proto.IR.Sema.Messages[tag].Name
+	}
+	return fmt.Sprintf("msg%d", tag)
+}
+
+func (e *Engine) errf(b *Block, format string, args ...any) error {
+	return &ProtocolError{
+		Node:  e.Node,
+		Block: b.ID,
+		State: b.StateName(e.Proto),
+		Msg:   fmt.Sprintf(format, args...),
+	}
+}
+
+// ---- vm.Host implementation ----
+
+var _ vm.Host = (*Engine)(nil)
+
+// LoadVar implements vm.Host.
+func (e *Engine) LoadVar(slot int) vm.Value { return e.cur.block.Vars[slot] }
+
+// StoreVar implements vm.Host.
+func (e *Engine) StoreVar(slot int, v vm.Value) { e.cur.block.Vars[slot] = v }
+
+// ModConst implements vm.Host.
+func (e *Engine) ModConst(slot int) vm.Value {
+	name := e.Proto.IR.Sema.ModConsts[slot].Name
+	return e.Support.ModConst(&Ctx{Engine: e, Block: e.cur.block, Msg: e.cur.msg}, name)
+}
+
+// MessageTag implements vm.Host.
+func (e *Engine) MessageTag() vm.Value { return vm.MsgVal(e.cur.msg.Tag) }
+
+// MessageSrc implements vm.Host.
+func (e *Engine) MessageSrc() vm.Value { return vm.NodeVal(e.cur.msg.Src) }
+
+// Send implements vm.Host.
+func (e *Engine) Send(data bool, dst, tag, id vm.Value, payload []vm.Value) error {
+	m := &Message{
+		Tag:     int(tag.Int),
+		ID:      int(id.Int),
+		Src:     e.Node,
+		Payload: payload,
+		Data:    data,
+	}
+	e.Sends++
+	e.Machine.Send(e.Node, int(dst.Int), m)
+	return nil
+}
+
+// SetState implements vm.Host: transition the current block. Every
+// transition (including Suspend's implicit one and self-transitions) makes
+// deferred messages eligible for retry.
+func (e *Engine) SetState(sv *vm.StateVal) error {
+	e.cur.block.State = sv
+	e.cur.block.transitioned = true
+	return nil
+}
+
+// Enqueue implements vm.Host: defer the current message.
+func (e *Engine) Enqueue() error {
+	e.cur.block.Deferred = append(e.cur.block.Deferred, e.cur.msg)
+	e.QueueRecords++
+	return nil
+}
+
+// Nack implements vm.Host: send a NACK back to the sender carrying the
+// original tag. The protocol must declare a NACK message to use this.
+func (e *Engine) Nack() error {
+	nack := e.Proto.MsgIndex("NACK")
+	if nack < 0 {
+		return e.errf(e.cur.block, "Nack() used but protocol declares no NACK message")
+	}
+	m := &Message{
+		Tag:     nack,
+		ID:      e.cur.msg.ID,
+		Src:     e.Node,
+		Payload: []vm.Value{vm.MsgVal(e.cur.msg.Tag)},
+	}
+	e.Machine.Send(e.Node, e.cur.msg.Src, m)
+	return nil
+}
+
+// Drop implements vm.Host: discard the current message.
+func (e *Engine) Drop() error { return nil }
+
+// WakeUp implements vm.Host.
+func (e *Engine) WakeUp(id vm.Value) error {
+	e.Machine.WakeUp(e.Node, int(id.Int))
+	return nil
+}
+
+// AccessChange implements vm.Host.
+func (e *Engine) AccessChange(id vm.Value, mode sema.AccessMode) error {
+	e.Machine.AccessChange(e.Node, int(id.Int), mode)
+	return nil
+}
+
+// RecvData implements vm.Host.
+func (e *Engine) RecvData(id vm.Value, mode sema.AccessMode) error {
+	if !e.cur.msg.Data {
+		return e.errf(e.cur.block, "RecvData on message %s which carries no data", e.msgName(e.cur.msg.Tag))
+	}
+	e.Machine.RecvData(e.Node, int(id.Int), mode)
+	return nil
+}
+
+// MyNode implements vm.Host.
+func (e *Engine) MyNode() vm.Value { return vm.NodeVal(e.Node) }
+
+// HomeNode implements vm.Host.
+func (e *Engine) HomeNode(id vm.Value) vm.Value {
+	return vm.NodeVal(e.Machine.HomeNode(int(id.Int)))
+}
+
+// BlockID implements vm.Host.
+func (e *Engine) BlockID() vm.Value { return vm.IDVal(e.cur.block.ID) }
+
+// BlockInfo implements vm.Host.
+func (e *Engine) BlockInfo() vm.Value { return vm.InfoVal(e.cur.block) }
+
+// CallSupport implements vm.Host.
+func (e *Engine) CallSupport(name string, args []*vm.Value) (vm.Value, error) {
+	return e.Support.Call(&Ctx{Engine: e, Block: e.cur.block, Msg: e.cur.msg}, name, args)
+}
+
+// ProtocolError implements vm.Host.
+func (e *Engine) ProtocolError(msg string) error {
+	return e.errf(e.cur.block, "%s", msg)
+}
+
+// Print implements vm.Host.
+func (e *Engine) Print(s string) { e.Machine.Print(e.Node, s) }

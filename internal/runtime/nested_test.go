@@ -1,0 +1,243 @@
+package runtime_test
+
+import (
+	"strings"
+	"testing"
+
+	"teapot/internal/core"
+	"teapot/internal/runtime"
+	"teapot/internal/vm"
+)
+
+// nestedProtocol exercises §3's nested-suspension feature: "a subroutine
+// called from a Suspend can itself invoke another Suspend ... in the
+// Stanford DASH coherence protocol, a home node returns a WriteResponse
+// that requires the writer to wait for Invalidation-Acks from the current
+// readers. With this mechanism, the handler processing the response can
+// directly Suspend to wait for the next acknowledgment."
+//
+// Here the GO handler waits for M1; the M1 handler, while holding GO's
+// continuation, suspends again for M2; M2 resumes into M1's remainder,
+// which resumes GO's remainder. Locals at each level must survive.
+const nestedProtocol = `
+protocol Nest begin
+  var result : int;
+  state S();
+  state W1(C : CONT) transient;
+  state W2(C : CONT; inner : int) transient;
+  message GO;
+  message M1;
+  message M2;
+end;
+
+state Nest.S()
+begin
+  message GO (id : ID; var info : INFO; src : NODE)
+  var x : int;
+  begin
+    x := 100;
+    Suspend(L, W1{L});
+    result := result + x + 1;   -- runs last; x restored from GO's record
+    SetState(info, S{});
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state Nest.W1(C : CONT)
+begin
+  message M1 (id : ID; var info : INFO; src : NODE)
+  var y : int;
+  begin
+    y := 20;
+    Suspend(L2, W2{L2, y});
+    result := result + y;       -- y restored from M1's record
+    Resume(C);                  -- then continue the original GO handler
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state Nest.W2(C : CONT; inner : int)
+begin
+  message M2 (id : ID; var info : INFO; src : NODE)
+  begin
+    result := inner * 1000;     -- the state argument carried across
+    Resume(C);
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+`
+
+func TestNestedSuspensions(t *testing.T) {
+	for _, optimize := range []bool{false, true} {
+		art := core.MustCompile(core.Config{
+			Name: "nest.tea", Source: nestedProtocol, Optimize: optimize,
+			HomeStart: "S", CacheStart: "S",
+		})
+		m := newTestMachine()
+		e := runtime.NewEngine(art.Protocol, 0, 1, m, nullSupport{})
+		m.engines = append(m.engines, e)
+
+		deliver := func(name string) {
+			t.Helper()
+			if err := e.Deliver(&runtime.Message{Tag: art.Protocol.MsgIndex(name), ID: 0, Src: 0}); err != nil {
+				t.Fatalf("deliver %s (optimize=%v): %v", name, optimize, err)
+			}
+		}
+		deliver("GO")
+		if got := e.Blocks[0].StateName(art.Protocol); got != "W1" {
+			t.Fatalf("state after GO = %s", got)
+		}
+		deliver("M1")
+		if got := e.Blocks[0].StateName(art.Protocol); got != "W2" {
+			t.Fatalf("state after M1 = %s", got)
+		}
+		// The W2 state value carries the inner local as an argument.
+		if args := e.Blocks[0].State.Args; len(args) != 2 || args[1].Int != 20 {
+			t.Fatalf("W2 args = %v", args)
+		}
+		deliver("M2")
+		// result = 20*1000 (M2) + 20 (M1 remainder) + 101 (GO remainder).
+		slot := art.Sema.ProtVars[0].Index
+		if got := e.Blocks[0].Vars[slot].Int; got != 20121 {
+			t.Errorf("optimize=%v: result = %d, want 20121", optimize, got)
+		}
+		if got := e.Blocks[0].StateName(art.Protocol); got != "S" {
+			t.Errorf("final state = %s", got)
+		}
+		m.engines = nil
+	}
+}
+
+func TestNestedSuspensionCountersDifferByMode(t *testing.T) {
+	run := func(optimize bool) vm.Counters {
+		art := core.MustCompile(core.Config{
+			Name: "nest.tea", Source: nestedProtocol, Optimize: optimize,
+			HomeStart: "S", CacheStart: "S",
+		})
+		m := newTestMachine()
+		e := runtime.NewEngine(art.Protocol, 0, 1, m, nullSupport{})
+		m.engines = append(m.engines, e)
+		for _, name := range []string{"GO", "M1", "M2"} {
+			if err := e.Deliver(&runtime.Message{Tag: art.Protocol.MsgIndex(name), ID: 0, Src: 0}); err != nil {
+				panic(err)
+			}
+		}
+		return e.Counters()
+	}
+	unopt := run(false)
+	opt := run(true)
+	if unopt.HeapConts != 2 {
+		t.Errorf("unopt heap conts = %d, want 2 (one per suspend)", unopt.HeapConts)
+	}
+	// Both sites are unique for their states: the optimizer makes them
+	// constant (but not static — each saves a live local).
+	if opt.HeapConts != 0 || opt.StaticConts != 2 {
+		t.Errorf("opt conts = heap %d / static %d, want 0 / 2", opt.HeapConts, opt.StaticConts)
+	}
+	if opt.ConstResumes != 2 || unopt.ConstResumes != 0 {
+		t.Errorf("const resumes: opt=%d unopt=%d", opt.ConstResumes, unopt.ConstResumes)
+	}
+}
+
+// nackProtocol exercises the negative-acknowledgement option the paper
+// lists alongside queuing and dropping.
+const nackProtocol = `
+protocol Nacky begin
+  var nacked : int;
+  state S();
+  state B();
+  message PING;
+  message NACK;
+end;
+
+state Nacky.S()
+begin
+  message PING (id : ID; var info : INFO; src : NODE)
+  begin
+    SetState(info, B{});
+  end;
+  message NACK (id : ID; var info : INFO; src : NODE; orig : MSG)
+  begin
+    nacked := nacked + 1;
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+end;
+
+state Nacky.B()
+begin
+  message PING (id : ID; var info : INFO; src : NODE)
+  begin
+    Nack();
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+end;
+`
+
+func TestNackBuiltin(t *testing.T) {
+	art := core.MustCompile(core.Config{
+		Name: "nack.tea", Source: nackProtocol, Optimize: true,
+		HomeStart: "S", CacheStart: "S",
+	})
+	m := newTestMachine()
+	for n := 0; n < 2; n++ {
+		m.engines = append(m.engines, runtime.NewEngine(art.Protocol, n, 1, m, nullSupport{}))
+	}
+	ping := art.Protocol.MsgIndex("PING")
+	// First PING moves node 0 to B; second gets nacked back to node 1.
+	if err := m.engines[0].Deliver(&runtime.Message{Tag: ping, ID: 0, Src: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.engines[0].Deliver(&runtime.Message{Tag: ping, ID: 0, Src: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.pump(t)
+	slot := art.Sema.ProtVars[0].Index
+	if got := m.engines[1].Blocks[0].Vars[slot].Int; got != 1 {
+		t.Errorf("nacked = %d, want 1", got)
+	}
+}
+
+func TestNackWithoutDeclaredMessage(t *testing.T) {
+	src := strings.Replace(nackProtocol, "protocol Nacky begin", "protocol Nacky begin", 1)
+	src = strings.Replace(src, "  message NACK;\n", "", 1)
+	// Remove the NACK declaration and its handler.
+	src = strings.Replace(src, `  message NACK (id : ID; var info : INFO; src : NODE; orig : MSG)
+  begin
+    nacked := nacked + 1;
+  end;
+`, "", 1)
+	src = strings.Replace(src, "message NACK;", "", 1)
+	art, err := core.Compile(core.Config{
+		Name: "nack2.tea", Source: src, Optimize: true,
+		HomeStart: "S", CacheStart: "S",
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := newTestMachine()
+	e := runtime.NewEngine(art.Protocol, 0, 1, m, nullSupport{})
+	m.engines = append(m.engines, e)
+	ping := art.Protocol.MsgIndex("PING")
+	if err := e.Deliver(&runtime.Message{Tag: ping, ID: 0, Src: 0}); err != nil {
+		t.Fatal(err)
+	}
+	err = e.Deliver(&runtime.Message{Tag: ping, ID: 0, Src: 0})
+	if err == nil || !strings.Contains(err.Error(), "no NACK message") {
+		t.Fatalf("err = %v", err)
+	}
+}

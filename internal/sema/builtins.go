@@ -1,0 +1,90 @@
+package sema
+
+// Builtin identifies the intrinsic operations the Teapot runtime provides.
+// These correspond to the Tempest mechanisms the paper's protocols call
+// (Send, SetState, AccessChange, Enqueue, ...). Support modules may declare
+// additional routines; those are bound to Go implementations at runtime.
+type Builtin int
+
+// Builtins.
+const (
+	BNone         Builtin = iota
+	BSend                 // Send(dst NODE, tag MSG, id ID, payload...)
+	BSendData             // SendData(dst NODE, tag MSG, id ID, payload...) — carries block data
+	BSetState             // SetState(var info INFO, s STATE)
+	BEnqueue              // Enqueue(...) — defer the current message until the next transition
+	BNack                 // Nack() — negatively acknowledge the current message
+	BDrop                 // Drop() — discard the current message
+	BError                // Error(fmt string, args...) — unexpected message / protocol bug
+	BWakeUp               // WakeUp(id ID) — unstall the faulting processor
+	BAccessChange         // AccessChange(id ID, a ACCESS)
+	BRecvData             // RecvData(id ID, a ACCESS) — install current message's data
+	BMyNode               // MyNode() : NODE
+	BHomeNode             // HomeNode(id ID) : NODE
+	BMsgToStr             // Msg_To_Str(tag MSG) : string
+	BMessageTag           // MessageTag : MSG (value builtin)
+	BMessageSrc           // MessageSrc : NODE (value builtin; sender of current message)
+)
+
+// builtinFuncs is the always-available routine set.
+var builtinFuncs = []*FuncSym{
+	{Name: "Send", Sig: vsig(Invalid, Node, Msg, ID), Builtin: BSend},
+	{Name: "SendData", Sig: vsig(Invalid, Node, Msg, ID), Builtin: BSendData},
+	{Name: "SetState", Sig: sig(Invalid, Info, State).withRef(0), Builtin: BSetState},
+	{Name: "Enqueue", Sig: vsig(Invalid), Builtin: BEnqueue},
+	{Name: "Nack", Sig: sig(Invalid), Builtin: BNack},
+	{Name: "Drop", Sig: sig(Invalid), Builtin: BDrop},
+	{Name: "Error", Sig: vsig(Invalid, String), Builtin: BError},
+	{Name: "WakeUp", Sig: sig(Invalid, ID), Builtin: BWakeUp},
+	{Name: "AccessChange", Sig: sig(Invalid, ID, Access), Builtin: BAccessChange},
+	{Name: "RecvData", Sig: sig(Invalid, ID, Access), Builtin: BRecvData},
+	{Name: "MyNode", Sig: sig(Node), Builtin: BMyNode},
+	{Name: "HomeNode", Sig: sig(Node, ID), Builtin: BHomeNode},
+	{Name: "Msg_To_Str", Sig: sig(String, Msg), Builtin: BMsgToStr},
+}
+
+// AccessMode is the Tempest fine-grain access-control mode for a block.
+type AccessMode int
+
+// Access modes and change operations. The *_change* values (upgrade and
+// downgrade) are directional aliases used by the paper's protocols.
+const (
+	AccInvalid   AccessMode = iota // no access; loads and stores fault
+	AccReadOnly                    // loads succeed; stores fault
+	AccReadWrite                   // full access
+	AccBuffered                    // stores complete into a write buffer; loads fault
+)
+
+func (a AccessMode) String() string {
+	switch a {
+	case AccInvalid:
+		return "Invalid"
+	case AccReadOnly:
+		return "ReadOnly"
+	case AccReadWrite:
+		return "ReadWrite"
+	case AccBuffered:
+		return "Buffered"
+	}
+	return "?"
+}
+
+// builtinAccessConsts maps the access-change constant names the paper's
+// protocols use to target access modes.
+var builtinAccessConsts = map[string]AccessMode{
+	"Blk_Invalidate":   AccInvalid,
+	"Blk_ReadOnly":     AccReadOnly,
+	"Blk_ReadWrite":    AccReadWrite,
+	"Blk_Upgrade_RW":   AccReadWrite,
+	"Blk_Downgrade_RO": AccReadOnly,
+	"Blk_Buffered":     AccBuffered,
+}
+
+// builtinValues are nullary value builtins usable in expressions.
+var builtinValues = map[string]struct {
+	Type    Type
+	Builtin Builtin
+}{
+	"MessageTag": {Msg, BMessageTag},
+	"MessageSrc": {Node, BMessageSrc},
+}

@@ -1,0 +1,366 @@
+package sema
+
+import (
+	"teapot/internal/ast"
+	"teapot/internal/source"
+	"teapot/internal/token"
+)
+
+// Check performs semantic analysis on a parsed program. On error it returns
+// a partial Program and the accumulated diagnostics.
+func Check(prog *ast.Program) (*Program, error) {
+	c := &checker{
+		p: &Program{
+			AST:         prog,
+			Types:       make(map[string]Type),
+			Consts:      make(map[string]*ConstVal),
+			Funcs:       make(map[string]*FuncSym),
+			msgByName:   make(map[string]*Message),
+			stateByName: make(map[string]*StateSym),
+			Uses:        make(map[*ast.Ident]*Symbol),
+		},
+	}
+	if prog.File != nil {
+		c.fname = prog.File.Name
+	}
+	for name, t := range builtinTypes {
+		c.p.Types[name] = t
+	}
+	for _, f := range builtinFuncs {
+		c.p.Funcs[f.Name] = f
+	}
+	c.collectModules(prog.Modules)
+	if prog.Protocol != nil {
+		c.collectProtocol(prog.Protocol)
+	} else {
+		c.errs.Add(c.fname, source.Pos{}, "missing protocol declaration")
+	}
+	c.collectStates(prog.States)
+	// Two passes: handler signatures first (they fix message payload
+	// types), then bodies (whose Send sites are checked against payloads).
+	for _, s := range c.p.States {
+		c.collectHandlers(s)
+	}
+	for _, s := range c.p.States {
+		for _, h := range s.Handlers {
+			c.checkHandlerBody(h)
+		}
+	}
+	c.errs.Sort()
+	return c.p, c.errs.Err()
+}
+
+type checker struct {
+	p     *Program
+	fname string
+	errs  source.ErrorList
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.errs.Add(c.fname, pos, format, args...)
+}
+
+func (c *checker) lookupType(id *ast.Ident) Type {
+	if t, ok := c.p.Types[id.Name]; ok {
+		return t
+	}
+	c.errorf(id.Pos(), "unknown type %q", id.Name)
+	return Invalid
+}
+
+func (c *checker) collectModules(mods []*ast.Module) {
+	for _, m := range mods {
+		for _, d := range m.Decls {
+			switch d := d.(type) {
+			case *ast.TypeDecl:
+				if _, exists := c.p.Types[d.Name.Name]; exists {
+					c.errorf(d.Pos(), "type %q redeclared", d.Name.Name)
+					continue
+				}
+				c.p.Types[d.Name.Name] = Abstract(d.Name.Name)
+			case *ast.ModConstDecl:
+				t := c.lookupType(d.Type)
+				v := &VarSym{Name: d.Name.Name, Type: t, Index: len(c.p.ModConsts)}
+				c.p.ModConsts = append(c.p.ModConsts, v)
+			case *ast.SubDecl:
+				s := &Sig{}
+				for _, g := range d.Params {
+					t := c.lookupType(g.Type)
+					for range g.Names {
+						s.Params = append(s.Params, t)
+						s.ByRef = append(s.ByRef, g.ByRef)
+					}
+				}
+				s.Result = Invalid
+				if d.Result != nil {
+					s.Result = c.lookupType(d.Result)
+				}
+				if prev, exists := c.p.Funcs[d.Name.Name]; exists && prev.Builtin != BNone {
+					// A module may re-declare a builtin (the paper's modules
+					// declare Send, SetState, etc. as prototypes); the
+					// builtin semantics win.
+					continue
+				} else if exists {
+					c.errorf(d.Pos(), "routine %q redeclared", d.Name.Name)
+					continue
+				}
+				c.p.Funcs[d.Name.Name] = &FuncSym{Name: d.Name.Name, Sig: s}
+			}
+		}
+	}
+}
+
+func (c *checker) collectProtocol(pr *ast.Protocol) {
+	c.p.ProtoName = pr.Name.Name
+	for _, d := range pr.Decls {
+		switch d := d.(type) {
+		case *ast.ProtVarDecl:
+			t := c.lookupType(d.Type)
+			if !t.Scalar() && t.Kind != TAbstract && t.Kind != TState && t.Kind != TCont {
+				c.errorf(d.Pos(), "protocol variable %q has unsupported type %s", d.Name.Name, t)
+			}
+			if c.findProtVar(d.Name.Name) != nil {
+				c.errorf(d.Pos(), "protocol variable %q redeclared", d.Name.Name)
+				continue
+			}
+			c.p.ProtVars = append(c.p.ProtVars, &VarSym{Name: d.Name.Name, Type: t, Index: len(c.p.ProtVars)})
+		case *ast.ProtConstDecl:
+			cv := c.constExpr(d.Value)
+			if cv == nil {
+				continue
+			}
+			if _, exists := c.p.Consts[d.Name.Name]; exists {
+				c.errorf(d.Pos(), "constant %q redeclared", d.Name.Name)
+				continue
+			}
+			c.p.Consts[d.Name.Name] = cv
+		case *ast.StateDecl:
+			if c.p.stateByName[d.Name.Name] != nil {
+				c.errorf(d.Pos(), "state %q redeclared", d.Name.Name)
+				continue
+			}
+			st := &StateSym{
+				Name:         d.Name.Name,
+				Index:        len(c.p.States),
+				Transient:    d.Transient,
+				handlerByMsg: make(map[int]*HandlerSym),
+			}
+			for _, g := range d.Params {
+				t := c.lookupType(g.Type)
+				for _, n := range g.Names {
+					st.Params = append(st.Params, ParamSym{Name: n.Name, Type: t, ByRef: g.ByRef})
+				}
+			}
+			c.p.States = append(c.p.States, st)
+			c.p.stateByName[st.Name] = st
+		case *ast.MessageDecl:
+			if c.p.msgByName[d.Name.Name] != nil {
+				c.errorf(d.Pos(), "message %q redeclared", d.Name.Name)
+				continue
+			}
+			m := &Message{Name: d.Name.Name, Index: len(c.p.Messages), Decl: d}
+			c.p.Messages = append(c.p.Messages, m)
+			c.p.msgByName[m.Name] = m
+		}
+	}
+}
+
+func (c *checker) findProtVar(name string) *VarSym {
+	for _, v := range c.p.ProtVars {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+func (c *checker) findModConst(name string) *VarSym {
+	for _, v := range c.p.ModConsts {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// constExpr evaluates a protocol constant initializer.
+func (c *checker) constExpr(e ast.Expr) *ConstVal {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return &ConstVal{Type: Int, Int: e.Value}
+	case *ast.BoolLit:
+		v := int64(0)
+		if e.Value {
+			v = 1
+		}
+		return &ConstVal{Type: Bool, Int: v}
+	case *ast.StringLit:
+		return &ConstVal{Type: String, Str: e.Value}
+	case *ast.Name:
+		if cv, ok := c.p.Consts[e.Ident.Name]; ok {
+			return cv
+		}
+		c.errorf(e.Pos(), "constant initializer references unknown constant %q", e.Ident.Name)
+		return nil
+	case *ast.UnExpr:
+		if e.Op == token.MINUS {
+			if cv := c.constExpr(e.X); cv != nil && cv.Type.Same(Int) {
+				return &ConstVal{Type: Int, Int: -cv.Int}
+			}
+		}
+	}
+	c.errorf(e.Pos(), "constant initializer must be a literal or constant name")
+	return nil
+}
+
+func (c *checker) collectStates(states []*ast.State) {
+	for _, s := range states {
+		st := c.p.stateByName[s.Name.Name]
+		if st == nil {
+			// Body without a forward declaration: declare implicitly.
+			st = &StateSym{
+				Name:         s.Name.Name,
+				Index:        len(c.p.States),
+				handlerByMsg: make(map[int]*HandlerSym),
+			}
+			for _, g := range s.Params {
+				t := c.lookupType(g.Type)
+				for _, n := range g.Names {
+					st.Params = append(st.Params, ParamSym{Name: n.Name, Type: t, ByRef: g.ByRef})
+				}
+			}
+			c.p.States = append(c.p.States, st)
+			c.p.stateByName[st.Name] = st
+		} else if st.Body != nil {
+			c.errorf(s.Pos(), "state %q defined twice", s.Name.Name)
+			continue
+		} else {
+			// Body must agree with the forward declaration.
+			var bodyParams []ParamSym
+			for _, g := range s.Params {
+				t := c.lookupType(g.Type)
+				for _, n := range g.Names {
+					bodyParams = append(bodyParams, ParamSym{Name: n.Name, Type: t, ByRef: g.ByRef})
+				}
+			}
+			if len(bodyParams) != len(st.Params) {
+				c.errorf(s.Pos(), "state %q has %d parameters here but %d in its declaration",
+					s.Name.Name, len(bodyParams), len(st.Params))
+			} else {
+				for i := range bodyParams {
+					if !bodyParams[i].Type.Same(st.Params[i].Type) {
+						c.errorf(s.Pos(), "state %q parameter %d has type %s here but %s in its declaration",
+							s.Name.Name, i+1, bodyParams[i].Type, st.Params[i].Type)
+					}
+				}
+				st.Params = bodyParams // body's names are authoritative for handlers
+			}
+		}
+		st.Body = s
+		if s.Proto != nil && c.p.ProtoName != "" && s.Proto.Name != c.p.ProtoName {
+			c.errorf(s.Proto.Pos(), "state qualifier %q does not match protocol %q", s.Proto.Name, c.p.ProtoName)
+		}
+	}
+	for _, st := range c.p.States {
+		if st.IsSubroutine() {
+			st.Transient = true
+		}
+	}
+}
+
+func (c *checker) collectHandlers(st *StateSym) {
+	if st.Body == nil {
+		// Declared but not defined: legal only for non-subroutine states with
+		// no handlers? The paper forward-declares all states; require bodies.
+		c.errorf(source.Pos{}, "state %q declared but never defined", st.Name)
+		return
+	}
+	for _, h := range st.Body.Handlers {
+		hs := &HandlerSym{State: st, Body: h.Body, AST: h}
+		if !h.IsDefault() {
+			m := c.p.msgByName[h.Name.Name]
+			if m == nil {
+				c.errorf(h.Name.Pos(), "handler for undeclared message %q in state %q", h.Name.Name, st.Name)
+				continue
+			}
+			hs.Msg = m
+			if prev := st.handlerByMsg[m.Index]; prev != nil {
+				c.errorf(h.Name.Pos(), "duplicate handler for message %q in state %q", m.Name, st.Name)
+				continue
+			}
+			st.handlerByMsg[m.Index] = hs
+		} else {
+			if st.Default != nil {
+				c.errorf(h.Name.Pos(), "duplicate DEFAULT handler in state %q", st.Name)
+				continue
+			}
+			st.Default = hs
+		}
+		for _, g := range h.Params {
+			t := c.lookupType(g.Type)
+			for _, n := range g.Names {
+				hs.Params = append(hs.Params, ParamSym{Name: n.Name, Type: t, ByRef: g.ByRef})
+			}
+		}
+		for _, g := range h.Locals {
+			t := c.lookupType(g.Type)
+			for _, n := range g.Names {
+				hs.Locals = append(hs.Locals, ParamSym{Name: n.Name, Type: t, ByRef: false})
+			}
+		}
+		c.checkHandlerSignature(hs)
+		st.Handlers = append(st.Handlers, hs)
+	}
+	if len(st.Handlers) == 0 {
+		c.errorf(st.Body.Pos(), "state %q has no handlers", st.Name)
+	}
+}
+
+// checkHandlerSignature enforces the delivery convention: every handler
+// receives (id : ID; var info : INFO; src : NODE) followed by the message's
+// declared payload. DEFAULT handlers receive just the standard triple.
+func (c *checker) checkHandlerSignature(hs *HandlerSym) {
+	pos := hs.AST.Name.Pos()
+	std := []Type{ID, Info, Node}
+	if len(hs.Params) < len(std) {
+		c.errorf(pos, "handler %s.%s must declare at least (id : ID; var info : INFO; src : NODE)",
+			hs.State.Name, hs.Name())
+		return
+	}
+	for i, want := range std {
+		if !hs.Params[i].Type.Same(want) {
+			c.errorf(pos, "handler %s.%s parameter %d has type %s, want %s",
+				hs.State.Name, hs.Name(), i+1, hs.Params[i].Type, want)
+		}
+	}
+	payload := hs.Params[len(std):]
+	if hs.Msg == nil {
+		if len(payload) != 0 {
+			c.errorf(pos, "DEFAULT handler in state %q cannot declare payload parameters", hs.State.Name)
+		}
+		return
+	}
+	// The first body found for a message fixes its payload types; later
+	// handlers must agree. (Message declarations carry no payload syntax in
+	// the Appendix A grammar, so payloads are inferred from handlers and
+	// checked against Send sites.)
+	var ptypes []Type
+	for _, p := range payload {
+		ptypes = append(ptypes, p.Type)
+	}
+	if hs.Msg.Payload == nil {
+		hs.Msg.Payload = ptypes
+		return
+	}
+	if len(ptypes) != len(hs.Msg.Payload) {
+		c.errorf(pos, "handler %s.%s declares %d payload parameters for message %s, other handlers declare %d",
+			hs.State.Name, hs.Name(), len(ptypes), hs.Msg.Name, len(hs.Msg.Payload))
+		return
+	}
+	for i := range ptypes {
+		if !ptypes[i].Same(hs.Msg.Payload[i]) {
+			c.errorf(pos, "handler %s.%s payload parameter %d has type %s, other handlers use %s",
+				hs.State.Name, hs.Name(), i+1, ptypes[i], hs.Msg.Payload[i])
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"teapot/internal/parser"
+)
+
+// miniProtocol is a small but complete protocol exercising most language
+// features: subroutine states, suspends, protocol vars, module routines.
+const miniProtocol = `
+module Support begin
+  type COUNTER;
+  const Zero : COUNTER;
+  function CountNonZero(c : COUNTER) : bool;
+  procedure Bump(var c : COUNTER);
+end;
+
+protocol Mini begin
+  var owner : NODE;
+  var pending : int;
+  const Limit := 4;
+  state Idle();
+  state Busy();
+  state AwaitAck(C : CONT) transient;
+  message REQ;
+  message ACK;
+  message REL;
+end;
+
+state Mini.Idle()
+begin
+  message REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    owner := src;
+    pending := pending + 1;
+    if (pending > Limit) then
+      Error("too many: %s", Msg_To_Str(MessageTag));
+    endif;
+    Send(src, ACK, id);
+    Suspend(L, AwaitAck{L});
+    SetState(info, Busy{});
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+
+state Mini.Busy()
+begin
+  message REL (id : ID; var info : INFO; src : NODE)
+  begin
+    pending := pending - 1;
+    SetState(info, Idle{});
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue();
+  end;
+end;
+
+state Mini.AwaitAck(C : CONT)
+begin
+  message ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Resume(C);
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue();
+  end;
+end;
+`
+
+func checkSrc(t *testing.T, src string) (*Program, error) {
+	t.Helper()
+	prog, err := parser.Parse("test.tea", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func TestCheckMiniProtocol(t *testing.T) {
+	p, err := checkSrc(t, miniProtocol)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if p.ProtoName != "Mini" {
+		t.Errorf("proto = %q", p.ProtoName)
+	}
+	if len(p.States) != 3 || len(p.Messages) != 3 {
+		t.Fatalf("states=%d messages=%d", len(p.States), len(p.Messages))
+	}
+	idle := p.StateByName("Idle")
+	if idle == nil || idle.IsSubroutine() {
+		t.Fatalf("Idle = %+v", idle)
+	}
+	await := p.StateByName("AwaitAck")
+	if await == nil || !await.IsSubroutine() || !await.Transient {
+		t.Fatalf("AwaitAck = %+v", await)
+	}
+	req := p.MessageByName("REQ")
+	if req == nil || len(req.Payload) != 0 {
+		t.Fatalf("REQ = %+v", req)
+	}
+	h := idle.HandlerFor(req.Index)
+	if h == nil || h.Name() != "REQ" {
+		t.Fatalf("Idle handler for REQ = %v", h)
+	}
+	if h.Suspends != 1 {
+		t.Errorf("suspends = %d, want 1", h.Suspends)
+	}
+	// Unknown message falls back to DEFAULT.
+	ack := p.MessageByName("ACK")
+	if d := idle.HandlerFor(ack.Index); d == nil || d.Msg != nil {
+		t.Errorf("Idle handler for ACK should be DEFAULT, got %v", d)
+	}
+	if len(p.ProtVars) != 2 {
+		t.Errorf("protvars = %d", len(p.ProtVars))
+	}
+	if cv := p.Consts["Limit"]; cv == nil || cv.Int != 4 {
+		t.Errorf("Limit = %+v", cv)
+	}
+	if len(p.ModConsts) != 1 || p.ModConsts[0].Name != "Zero" {
+		t.Errorf("modconsts = %+v", p.ModConsts)
+	}
+	if f := p.Funcs["CountNonZero"]; f == nil || !f.Sig.Result.Same(Bool) {
+		t.Errorf("CountNonZero = %+v", f)
+	}
+}
+
+// errCase builds a protocol around a single handler body and asserts the
+// checker reports a message containing want.
+func errCase(t *testing.T, body, want string) {
+	t.Helper()
+	src := `
+protocol P begin
+  var n : int;
+  state S();
+  state W(C : CONT) transient;
+  message M;
+end;
+state P.S() begin
+  message M (id : ID; var info : INFO; src : NODE)
+  var x : int; b : bool;
+  begin
+` + body + `
+  end;
+end;
+state P.W(C : CONT) begin
+  message M (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+end;
+`
+	_, err := checkSrc(t, src)
+	if want == "" {
+		if err != nil {
+			t.Errorf("body %q: unexpected error %v", body, err)
+		}
+		return
+	}
+	if err == nil {
+		t.Errorf("body %q: expected error containing %q, got none", body, want)
+		return
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("body %q: error %q does not contain %q", body, err.Error(), want)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ name, body, want string }{
+		{"ok assign", `x := 1;`, ""},
+		{"ok if", `if (x < 3 and b) then x := x + 1; endif;`, ""},
+		{"ok suspend", `Suspend(L, W{L});`, ""},
+		{"ok setstate", `SetState(info, S{});`, ""},
+		{"ok send", `Send(src, M, id);`, ""},
+		{"ok protvar", `n := n + 2;`, ""},
+		{"undefined var", `y := 1;`, "undefined: y"},
+		{"type mismatch assign", `x := true;`, "cannot assign bool"},
+		{"assign to const", `M := 1;`, "cannot assign"},
+		{"bad if cond", `if (x + 1) then x := 0; endif;`, "must have type bool"},
+		{"bad while cond", `while (src) do x := 0; end;`, "must have type bool"},
+		{"arith on bool", `x := b + 1;`, "arithmetic requires int"},
+		{"cmp mismatch", `b := x = b;`, "mismatched types"},
+		{"unknown routine", `Frob(x);`, "unknown routine"},
+		{"proc in expr", `x := WakeUp(id);`, "used in an expression"},
+		{"suspend unknown state", `Suspend(L, Nowhere{L});`, "is not a state"},
+		{"suspend non-subroutine", `Suspend(L, S{});`, "no CONT parameter"},
+		{"suspend cont unused", `Suspend(L, W{NilCont()});`, "unknown routine"},
+		{"resume non-cont", `Resume(x);`, "must have type CONT"},
+		{"return value", `return 3;`, "do not return values"},
+		{"state arg count", `SetState(info, W{});`, "takes 1 arguments, got 0"},
+		{"send bad dst", `Send(id, M, id);`, "argument 1 has type ID, want NODE"},
+		{"setstate non-var", `SetState(MessageTag, S{});`, "argument 1 has type MSG"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { errCase(t, c.body, c.want) })
+	}
+}
+
+func TestContNotPassed(t *testing.T) {
+	src := `
+protocol P begin
+  state S();
+  state W(C : CONT) transient;
+  state W2(C : CONT; n : int) transient;
+  message M;
+end;
+state P.S() begin
+  message M (id : ID; var info : INFO; src : NODE) begin
+    Suspend(L, W2{NoCont(), 3});
+  end;
+end;
+state P.W(C : CONT) begin
+  message M (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+end;
+state P.W2(C : CONT; n : int) begin
+  message M (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+end;
+`
+	_, err := checkSrc(t, src)
+	if err == nil || !strings.Contains(err.Error(), "unknown routine") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPayloadInference(t *testing.T) {
+	src := `
+protocol P begin
+  state S();
+  message CAS;
+  message OTHER;
+end;
+state P.S() begin
+  message CAS (id : ID; var info : INFO; src : NODE; old : int; new : int)
+  begin
+    if (old = new) then
+      Send(src, OTHER, id);
+    else
+      Send(src, CAS, id, old, new);
+    endif;
+  end;
+  message OTHER (id : ID; var info : INFO; src : NODE) begin exit; end;
+end;
+`
+	p, err := checkSrc(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	cas := p.MessageByName("CAS")
+	if len(cas.Payload) != 2 || !cas.Payload[0].Same(Int) {
+		t.Fatalf("payload = %v", cas.Payload)
+	}
+}
+
+func TestPayloadMismatch(t *testing.T) {
+	src := `
+protocol P begin
+  state S();
+  message CAS;
+end;
+state P.S() begin
+  message CAS (id : ID; var info : INFO; src : NODE; old : int)
+  begin
+    Send(src, CAS, id, true);
+  end;
+end;
+`
+	_, err := checkSrc(t, src)
+	if err == nil || !strings.Contains(err.Error(), "payload 1 has type bool") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateHandler(t *testing.T) {
+	src := `
+protocol P begin state S(); message M; end;
+state P.S() begin
+  message M (id : ID; var info : INFO; src : NODE) begin exit; end;
+  message M (id : ID; var info : INFO; src : NODE) begin exit; end;
+end;
+`
+	_, err := checkSrc(t, src)
+	if err == nil || !strings.Contains(err.Error(), "duplicate handler") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStateDeclaredNotDefined(t *testing.T) {
+	src := `
+protocol P begin state S(); state Ghost(); message M; end;
+state P.S() begin
+  message M (id : ID; var info : INFO; src : NODE) begin exit; end;
+end;
+`
+	_, err := checkSrc(t, src)
+	if err == nil || !strings.Contains(err.Error(), "never defined") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadSignature(t *testing.T) {
+	src := `
+protocol P begin state S(); message M; end;
+state P.S() begin
+  message M (id : ID) begin exit; end;
+end;
+`
+	_, err := checkSrc(t, src)
+	if err == nil || !strings.Contains(err.Error(), "must declare at least") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStateBodyDeclMismatch(t *testing.T) {
+	src := `
+protocol P begin state W(C : CONT) transient; state S(); message M; end;
+state P.S() begin
+  message M (id : ID; var info : INFO; src : NODE) begin exit; end;
+end;
+state P.W(C : CONT; n : int) begin
+  message M (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+end;
+`
+	_, err := checkSrc(t, src)
+	if err == nil || !strings.Contains(err.Error(), "parameters here") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMoreCheckErrors(t *testing.T) {
+	cases := []struct{ name, body, want string }{
+		{"assign state param not allowed via resume-cont", `Resume(C2);`, "undefined: C2"},
+		{"while non-bool", `while (1) do x := 0; end;`, "must have type bool"},
+		{"ordering on bools", `b := b < b;`, "ordering requires int"},
+		{"not on int", `b := not x;`, "operand of not must be bool"},
+		{"unary minus on bool", `x := -b;`, "operand of unary - must be int"},
+		{"state value comparison ok", `b := W{NilC()} = W{NilC()};`, "unknown routine"},
+		{"msg comparison ok", `b := MessageTag = M;`, ""},
+		{"node comparison ok", `b := src = MyNode();`, ""},
+		{"access const ok", `AccessChange(id, Blk_ReadOnly);`, ""},
+		{"enqueue ignores args", `Enqueue(1, true, MessageTag);`, ""},
+		{"send data ok", `SendData(src, M, id);`, ""},
+		{"homenode ok", `Send(HomeNode(id), M, id);`, ""},
+		{"print anything", `print(id, info, src, MessageTag, 3, true);`, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { errCase(t, c.body, c.want) })
+	}
+}
+
+func TestDuplicateDeclarations(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"dup message", `protocol P begin message M; message M; state S(); end;
+state P.S() begin message M (id : ID; var info : INFO; src : NODE) begin exit; end; end;`,
+			`message "M" redeclared`},
+		{"dup state", `protocol P begin state S(); state S(); message M; end;
+state P.S() begin message M (id : ID; var info : INFO; src : NODE) begin exit; end; end;`,
+			`state "S" redeclared`},
+		{"dup protvar", `protocol P begin var n : int; var n : int; state S(); message M; end;
+state P.S() begin message M (id : ID; var info : INFO; src : NODE) begin exit; end; end;`,
+			`protocol variable "n" redeclared`},
+		{"dup const", `protocol P begin const K := 1; const K := 2; state S(); message M; end;
+state P.S() begin message M (id : ID; var info : INFO; src : NODE) begin exit; end; end;`,
+			`constant "K" redeclared`},
+		{"dup state body", `protocol P begin state S(); message M; end;
+state P.S() begin message M (id : ID; var info : INFO; src : NODE) begin exit; end; end;
+state P.S() begin message M (id : ID; var info : INFO; src : NODE) begin exit; end; end;`,
+			`state "S" defined twice`},
+		{"dup default", `protocol P begin state S(); message M; end;
+state P.S() begin
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin exit; end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin exit; end;
+end;`,
+			`duplicate DEFAULT`},
+		{"undeclared handler msg", `protocol P begin state S(); message M; end;
+state P.S() begin message NOPE (id : ID; var info : INFO; src : NODE) begin exit; end; end;`,
+			`undeclared message`},
+		{"default with payload", `protocol P begin state S(); message M; end;
+state P.S() begin message DEFAULT (id : ID; var info : INFO; src : NODE; x : int) begin exit; end; end;`,
+			`cannot declare payload`},
+		{"wrong proto qualifier", `protocol P begin state S(); message M; end;
+state Q.S() begin message M (id : ID; var info : INFO; src : NODE) begin exit; end; end;`,
+			`does not match protocol`},
+		{"empty state", `protocol P begin state S(); message M; end;
+state P.S() begin end;`, `no handlers`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := checkSrc(t, c.src)
+			if err == nil {
+				t.Fatalf("no error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q missing %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+// TestParserReportsMultipleErrors: recovery keeps going after the first
+// failure.
+func TestParserReportsMultipleErrors(t *testing.T) {
+	src := `
+protocol P begin
+  state S();
+  message M;
+end;
+state P.S() begin
+  message M (id : ID; var info : INFO; src : NODE)
+  begin
+    x := ;
+    y 5;
+    Frob(;
+  end;
+end;
+`
+	_, err := parser.Parse("multi.tea", src)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if n := strings.Count(err.Error(), "\n") + 1; n < 2 {
+		t.Errorf("only %d error lines reported:\n%s", n, err.Error())
+	}
+}

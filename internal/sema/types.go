@@ -1,0 +1,154 @@
+// Package sema performs semantic analysis of Teapot programs: name
+// resolution, type checking, and the structural restrictions from §5 of the
+// paper (Suspend only at statement level of a handler body; continuations
+// are first-class only as CONT-typed values passed to subroutine states).
+//
+// The output, a *Program, is the single source consumed by every backend:
+// the IR lowerer (executable protocols), the Murphi text generator, the Go
+// code generator, and the DOT state-machine extractor.
+package sema
+
+import "fmt"
+
+// TypeKind classifies Teapot types.
+type TypeKind int
+
+// Type kinds. Abstract types are declared by support modules and are opaque
+// to the compiler (the paper: "Datatypes must be abstract because the Teapot
+// system derives C code and Murphi code from the same protocol
+// specification").
+const (
+	TInvalid TypeKind = iota
+	TInt
+	TBool
+	TString
+	TID     // shared-memory block identifier
+	TInfo   // per-block protocol info area
+	TNode   // processor/node number
+	TCont   // continuation
+	TMsg    // message tag
+	TState  // state value
+	TAccess // Tempest access-control mode
+	TAbstract
+)
+
+// Type is a Teapot type. Two types are identical if their kinds match and,
+// for abstract types, their names match.
+type Type struct {
+	Kind TypeKind
+	Name string // for TAbstract; canonical spelling otherwise
+}
+
+// Builtin types, addressable as package-level values.
+var (
+	Invalid = Type{TInvalid, "<invalid>"}
+	Int     = Type{TInt, "int"}
+	Bool    = Type{TBool, "bool"}
+	String  = Type{TString, "string"}
+	ID      = Type{TID, "ID"}
+	Info    = Type{TInfo, "INFO"}
+	Node    = Type{TNode, "NODE"}
+	Cont    = Type{TCont, "CONT"}
+	Msg     = Type{TMsg, "MSG"}
+	State   = Type{TState, "STATE"}
+	Access  = Type{TAccess, "ACCESS"}
+)
+
+// Abstract constructs an abstract type.
+func Abstract(name string) Type { return Type{TAbstract, name} }
+
+func (t Type) String() string { return t.Name }
+
+// Same reports type identity.
+func (t Type) Same(u Type) bool {
+	if t.Kind != u.Kind {
+		return false
+	}
+	if t.Kind == TAbstract {
+		return t.Name == u.Name
+	}
+	return true
+}
+
+// Scalar reports whether values of the type fit the VM's integer payload
+// (ints, bools, nodes, ids, message tags, access modes).
+func (t Type) Scalar() bool {
+	switch t.Kind {
+	case TInt, TBool, TNode, TID, TMsg, TAccess:
+		return true
+	}
+	return false
+}
+
+// builtinTypes maps spellings to builtin types. Type names are
+// case-sensitive except for the ones the paper itself spells in multiple
+// cases.
+var builtinTypes = map[string]Type{
+	"int":    Int,
+	"INT":    Int,
+	"bool":   Bool,
+	"BOOL":   Bool,
+	"string": String,
+	"STRING": String,
+	"ID":     ID,
+	"INFO":   Info,
+	"NODE":   Node,
+	"CONT":   Cont,
+	"MSG":    Msg,
+	"STATE":  State,
+	"state":  State, // 'state' keyword allowed as a type name in prototypes
+	"ACCESS": Access,
+}
+
+// Sig is a support-routine or builtin signature. Variadic signatures accept
+// any arguments after the fixed prefix.
+type Sig struct {
+	Params   []Type
+	ByRef    []bool // parallel to Params
+	Result   Type   // Invalid for procedures
+	Variadic bool
+}
+
+func (s *Sig) String() string {
+	out := "("
+	for i, p := range s.Params {
+		if i > 0 {
+			out += "; "
+		}
+		if s.ByRef[i] {
+			out += "var "
+		}
+		out += p.String()
+	}
+	if s.Variadic {
+		if len(s.Params) > 0 {
+			out += "; "
+		}
+		out += "..."
+	}
+	out += ")"
+	if s.Result.Kind != TInvalid {
+		out += " : " + s.Result.String()
+	}
+	return out
+}
+
+// NumFixed returns the number of fixed parameters.
+func (s *Sig) NumFixed() int { return len(s.Params) }
+
+func sig(result Type, params ...Type) *Sig {
+	return &Sig{Params: params, ByRef: make([]bool, len(params)), Result: result}
+}
+
+func vsig(result Type, params ...Type) *Sig {
+	s := sig(result, params...)
+	s.Variadic = true
+	return s
+}
+
+func (s *Sig) withRef(idx int) *Sig {
+	s.ByRef[idx] = true
+	return s
+}
+
+var _ = fmt.Sprintf // keep fmt for debug helpers

@@ -1,0 +1,147 @@
+package sim
+
+import "teapot/internal/tempest"
+
+// The three Table-2 workloads (adaptive, stencil, unstruct). All are
+// phase-structured: a barrier, phase entry, a burst of reads and writes on
+// private LCM copies, phase exit, and another barrier — the copy-in/
+// copy-out discipline LCM was built for.
+
+func barrier() tempest.Op { return tempest.Op{Kind: tempest.OpBarrier} }
+
+// beginPhase/endPhase announce phase entry/exit for one block the node
+// will touch (Addr -1 would sweep all blocks; the workloads know their
+// touch sets, as real LCM programs do).
+func beginPhase(b int) tempest.Op { return tempest.Op{Kind: tempest.OpBeginPhase, Addr: b} }
+func endPhase(b int) tempest.Op   { return tempest.Op{Kind: tempest.OpEndPhase, Addr: b} }
+
+// Stencil is a regular 2-D relaxation run through LCM phases: every phase
+// each node pulls copies of its own band and the adjacent boundary rows,
+// updates privately, and reconciles at the end of the phase.
+func Stencil(spec WorkloadSpec) *Workload {
+	band := spec.Scale
+	if band == 0 {
+		band = 4
+	}
+	blocks := band * spec.Nodes
+	ops := make([][]tempest.Op, spec.Nodes)
+	for it := 0; it < spec.Iters; it++ {
+		for n := 0; n < spec.Nodes; n++ {
+			north := ((n-1+spec.Nodes)%spec.Nodes)*band + band - 1
+			south := ((n + 1) % spec.Nodes) * band
+			touched := []int{north, south}
+			for r := 0; r < band; r++ {
+				touched = append(touched, n*band+r)
+			}
+			ops[n] = append(ops[n], barrier())
+			for _, b := range touched {
+				ops[n] = append(ops[n], beginPhase(b))
+			}
+			ops[n] = append(ops[n], read(north), read(south), compute(100))
+			for r := 0; r < band; r++ {
+				row := n*band + r
+				ops[n] = append(ops[n], read(row), compute(60), write(row))
+			}
+			for _, b := range touched {
+				ops[n] = append(ops[n], endPhase(b))
+			}
+			ops[n] = append(ops[n], barrier())
+		}
+	}
+	w := &Workload{Name: "stencil", Blocks: blocks, Trace: NewTrace(ops)}
+	return remapBlocks(w, spec.Nodes, band)
+}
+
+// Adaptive models an adaptively refined mesh: the set of blocks a node
+// touches drifts between phases, so consumers change and copies migrate.
+func Adaptive(spec WorkloadSpec) *Workload {
+	cells := spec.Scale
+	if cells == 0 {
+		cells = 2 * spec.Nodes
+	}
+	r := newRNG(spec.Seed | 1)
+	ops := make([][]tempest.Op, spec.Nodes)
+	for it := 0; it < spec.Iters; it++ {
+		for n := 0; n < spec.Nodes; n++ {
+			// A drifting working set: a base region plus refined cells.
+			base := (n + it) % cells
+			touched := []int{}
+			for k := 0; k < 3; k++ {
+				touched = append(touched, (base+k)%cells)
+			}
+			if r.intn(2) == 0 { // refinement touches an extra random cell
+				touched = append(touched, r.intn(cells))
+			}
+			touched = dedupe(touched)
+			ops[n] = append(ops[n], barrier())
+			for _, c := range touched {
+				ops[n] = append(ops[n], beginPhase(c))
+			}
+			for _, c := range touched {
+				ops[n] = append(ops[n], read(c), compute(70), write(c))
+			}
+			for _, c := range touched {
+				ops[n] = append(ops[n], endPhase(c))
+			}
+			ops[n] = append(ops[n], barrier())
+		}
+	}
+	return &Workload{Name: "adaptive", Blocks: cells, Trace: NewTrace(ops)}
+}
+
+// Unstruct models an unstructured-mesh sweep: a fixed random graph decides
+// which blocks each node reads and updates every phase.
+func Unstruct(spec WorkloadSpec) *Workload {
+	cells := spec.Scale
+	if cells == 0 {
+		cells = 3 * spec.Nodes
+	}
+	r := newRNG(spec.Seed | 1)
+	// Fixed sparse structure: each node touches the same 4 cells each phase.
+	touch := make([][]int, spec.Nodes)
+	for n := range touch {
+		for k := 0; k < 4; k++ {
+			touch[n] = append(touch[n], r.intn(cells))
+		}
+		touch[n] = dedupe(touch[n])
+	}
+	ops := make([][]tempest.Op, spec.Nodes)
+	for it := 0; it < spec.Iters; it++ {
+		for n := 0; n < spec.Nodes; n++ {
+			ops[n] = append(ops[n], barrier())
+			for _, c := range touch[n] {
+				ops[n] = append(ops[n], beginPhase(c))
+			}
+			for _, c := range touch[n] {
+				ops[n] = append(ops[n], read(c), compute(50), write(c), compute(30))
+			}
+			for _, c := range touch[n] {
+				ops[n] = append(ops[n], endPhase(c))
+			}
+			ops[n] = append(ops[n], barrier())
+		}
+	}
+	return &Workload{Name: "unstruct", Blocks: cells, Trace: NewTrace(ops)}
+}
+
+// Table2Workloads builds the three LCM benchmarks.
+func Table2Workloads(nodes, iters int) []*Workload {
+	return []*Workload{
+		Adaptive(WorkloadSpec{Nodes: nodes, Iters: iters, Seed: 55}),
+		Stencil(WorkloadSpec{Nodes: nodes, Iters: iters, Seed: 66}),
+		Unstruct(WorkloadSpec{Nodes: nodes, Iters: iters, Seed: 77}),
+	}
+}
+
+// dedupe removes duplicates while preserving order.
+func dedupe(xs []int) []int {
+	seen := map[int]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

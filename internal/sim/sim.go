@@ -1,0 +1,92 @@
+// Package sim assembles benchmark runs: a workload program, a protocol
+// engine (compiled Teapot or hand-written baseline), and the Tempest
+// machine, and reports the statistics Tables 1 and 2 are built from.
+package sim
+
+import (
+	"teapot/internal/runtime"
+	"teapot/internal/tempest"
+)
+
+// Config describes one run.
+type Config struct {
+	Nodes  int
+	Blocks int
+	Cost   tempest.CostModel
+	Tags   tempest.EventTags
+	// MakeEngine builds the protocol engine against the machine (which
+	// implements runtime.Machine).
+	MakeEngine func(m runtime.Machine) tempest.Engine
+	Program    tempest.Program
+	HomeOf     func(id int) int
+}
+
+// Run executes the workload to completion.
+func Run(cfg Config) (*tempest.Stats, error) {
+	tc := tempest.Config{
+		Nodes:   cfg.Nodes,
+		Blocks:  cfg.Blocks,
+		HomeOf:  cfg.HomeOf,
+		Cost:    cfg.Cost,
+		Tags:    cfg.Tags,
+		Program: cfg.Program,
+	}
+	m := tempest.New(tc)
+	m.SetEngine(cfg.MakeEngine(m))
+	return m.Run()
+}
+
+// Trace is a precomputed per-node operation stream; all bundled workloads
+// are Traces so every engine flavor replays the identical instruction
+// stream.
+type Trace struct {
+	Ops [][]tempest.Op
+	pos []int
+}
+
+// NewTrace wraps per-node op slices.
+func NewTrace(ops [][]tempest.Op) *Trace {
+	return &Trace{Ops: ops, pos: make([]int, len(ops))}
+}
+
+// Next implements tempest.Program.
+func (t *Trace) Next(node int) (tempest.Op, bool) {
+	if t.pos[node] >= len(t.Ops[node]) {
+		return tempest.Op{}, false
+	}
+	op := t.Ops[node][t.pos[node]]
+	t.pos[node]++
+	return op, true
+}
+
+// Reset rewinds the trace so another engine can replay it.
+func (t *Trace) Reset() {
+	for i := range t.pos {
+		t.pos[i] = 0
+	}
+}
+
+// TotalOps returns the total operation count.
+func (t *Trace) TotalOps() int {
+	n := 0
+	for _, ops := range t.Ops {
+		n += len(ops)
+	}
+	return n
+}
+
+// rng is a small deterministic PRNG (splitmix-style) so workload
+// construction never depends on the library's math/rand defaults.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }

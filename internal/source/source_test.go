@@ -1,0 +1,121 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPosFor(t *testing.T) {
+	f := NewFile("t", "ab\ncde\n\nf")
+	cases := []struct {
+		off, line, col int
+	}{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, // "ab" then the newline
+		{3, 2, 1}, {5, 2, 3},
+		{7, 3, 1},
+		{8, 4, 1},
+	}
+	for _, c := range cases {
+		p := f.PosFor(c.off)
+		if p.Line != c.line || p.Col != c.col {
+			t.Errorf("PosFor(%d) = %v, want %d:%d", c.off, p, c.line, c.col)
+		}
+	}
+	// Clamping.
+	if p := f.PosFor(-5); p.Offset != 0 {
+		t.Errorf("negative offset not clamped: %v", p)
+	}
+	if p := f.PosFor(1000); p.Offset != len(f.Text) {
+		t.Errorf("overflow offset not clamped: %v", p)
+	}
+}
+
+// Property: PosFor is consistent with a naive line/column scan.
+func TestPosForProperty(t *testing.T) {
+	text := "alpha\nbeta gamma\n\ndelta\nepsilon"
+	f := NewFile("p", text)
+	check := func(off uint8) bool {
+		o := int(off) % (len(text) + 1)
+		p := f.PosFor(o)
+		line, col := 1, 1
+		for i := 0; i < o; i++ {
+			if text[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		return p.Line == line && p.Col == col
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLine(t *testing.T) {
+	f := NewFile("t", "first\nsecond\r\nthird")
+	if got := f.Line(1); got != "first" {
+		t.Errorf("Line(1) = %q", got)
+	}
+	if got := f.Line(2); got != "second" {
+		t.Errorf("Line(2) = %q (CR should be trimmed)", got)
+	}
+	if got := f.Line(3); got != "third" {
+		t.Errorf("Line(3) = %q", got)
+	}
+	if got := f.Line(0); got != "" {
+		t.Errorf("Line(0) = %q", got)
+	}
+	if got := f.Line(99); got != "" {
+		t.Errorf("Line(99) = %q", got)
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	var errs ErrorList
+	if errs.Err() != nil {
+		t.Error("empty list should be nil error")
+	}
+	errs.Add("b.tea", Pos{Offset: 5, Line: 2, Col: 1}, "second %d", 2)
+	errs.Add("a.tea", Pos{Offset: 1, Line: 1, Col: 2}, "first")
+	errs.Add("b.tea", Pos{Offset: 1, Line: 1, Col: 2}, "zeroth")
+	errs.Sort()
+	if errs.List[0].File != "a.tea" {
+		t.Errorf("sort order: %v", errs.List)
+	}
+	msg := errs.Err().Error()
+	if !strings.Contains(msg, "first") || !strings.Contains(msg, "second 2") {
+		t.Errorf("message = %q", msg)
+	}
+	if !strings.Contains(msg, "a.tea:1:2") {
+		t.Errorf("position formatting: %q", msg)
+	}
+	if errs.Len() != 3 {
+		t.Errorf("len = %d", errs.Len())
+	}
+}
+
+func TestErrorListTruncation(t *testing.T) {
+	var errs ErrorList
+	for i := 0; i < 30; i++ {
+		errs.Add("x", Pos{Line: i + 1, Col: 1}, "e%d", i)
+	}
+	msg := errs.Error()
+	if !strings.Contains(msg, "more errors") {
+		t.Errorf("expected truncation notice: %q", msg)
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{}).String(); got != "-" {
+		t.Errorf("zero pos = %q", got)
+	}
+	if got := (Pos{Line: 3, Col: 7}).String(); got != "3:7" {
+		t.Errorf("pos = %q", got)
+	}
+	if got := (Span{Start: Pos{Line: 1, Col: 2}}).String(); got != "1:2" {
+		t.Errorf("span = %q", got)
+	}
+}

@@ -1,0 +1,605 @@
+// Package tempest is a deterministic discrete-event simulation of a
+// Tempest-style multiprocessor (Hill, Larus & Wood; the substrate Blizzard
+// implements on the CM-5): N nodes, fine-grain access control on shared
+// blocks, a message-passing network with configurable latency, and
+// user-level protocol handlers that execute on the faulting/receiving node
+// and charge cycles according to a cost model.
+//
+// The paper evaluated Teapot on Blizzard-E and on "a detailed architectural
+// simulator of a multiprocessor that implements the Tempest interface";
+// this package plays the role of the latter. All execution is deterministic
+// (no wall-clock, no map iteration), so benchmark results are reproducible
+// bit-for-bit.
+package tempest
+
+import (
+	"container/heap"
+	"fmt"
+
+	"teapot/internal/runtime"
+	"teapot/internal/sema"
+)
+
+// CostCounters are the abstract work counters an engine reports; the cost
+// model converts deltas into cycles.
+type CostCounters struct {
+	Instrs       int64 // protocol "statements" executed
+	Handlers     int64 // handler activations
+	HeapConts    int64 // dynamically allocated continuation records
+	StaticConts  int64 // statically allocated continuation records
+	Resumes      int64 // indirect resumes
+	ConstResumes int64 // direct (inlined) resumes
+	QueueRecords int64 // deferred-queue records
+	Sends        int64 // messages sent
+	Calls        int64 // support-routine invocations
+}
+
+// Sub returns c - o.
+func (c CostCounters) Sub(o CostCounters) CostCounters {
+	return CostCounters{
+		Instrs:       c.Instrs - o.Instrs,
+		Handlers:     c.Handlers - o.Handlers,
+		HeapConts:    c.HeapConts - o.HeapConts,
+		StaticConts:  c.StaticConts - o.StaticConts,
+		Resumes:      c.Resumes - o.Resumes,
+		ConstResumes: c.ConstResumes - o.ConstResumes,
+		QueueRecords: c.QueueRecords - o.QueueRecords,
+		Sends:        c.Sends - o.Sends,
+		Calls:        c.Calls - o.Calls,
+	}
+}
+
+// Add returns c + o.
+func (c CostCounters) Add(o CostCounters) CostCounters {
+	return c.Sub(CostCounters{}.Sub(o))
+}
+
+// CostModel converts counter deltas into cycles. The absolute values are a
+// documented fiction; what matters for Tables 1–2 is that hand-written and
+// Teapot protocols share every term except the ones Teapot actually adds
+// (interpretive dispatch, continuation records, resume indirection).
+type CostModel struct {
+	MemAccess    int64 // satisfied load/store
+	FaultTrap    int64 // access-fault trap + protocol entry
+	Dispatch     int64 // handler dispatch (table lookup, argument setup)
+	PerInstr     int64 // per protocol statement
+	HeapCont     int64 // allocate+free one heap continuation record
+	StaticCont   int64 // initialize a static continuation record
+	Resume       int64 // indirect resume (function pointer + restore)
+	ConstResume  int64 // inlined resume
+	QueueRecord  int64 // allocate+free one deferred-queue record
+	SendOverhead int64 // per message send
+	SupportCall  int64 // per support-routine invocation (call overhead)
+	NetLatency   int64 // network transit time
+}
+
+// DefaultCost is calibrated so protocol processing is a minority of run
+// time (as on real hardware) and the Teapot-vs-C deltas land in the
+// paper's observed 2–15% range.
+var DefaultCost = CostModel{
+	MemAccess:    1,
+	FaultTrap:    100,
+	Dispatch:     30,
+	PerInstr:     4,
+	HeapCont:     60,
+	StaticCont:   6,
+	Resume:       24,
+	ConstResume:  4,
+	QueueRecord:  40,
+	SendOverhead: 40,
+	SupportCall:  10,
+	NetLatency:   120,
+}
+
+// Cycles converts a counter delta into cycles.
+func (cm CostModel) Cycles(d CostCounters) int64 {
+	return d.Handlers*cm.Dispatch +
+		d.Instrs*cm.PerInstr +
+		d.HeapConts*cm.HeapCont +
+		d.StaticConts*cm.StaticCont +
+		d.Resumes*cm.Resume +
+		d.ConstResumes*cm.ConstResume +
+		d.QueueRecords*cm.QueueRecord +
+		d.Sends*cm.SendOverhead +
+		d.Calls*cm.SupportCall
+}
+
+// Engine is a per-machine protocol engine: one instance manages all nodes
+// (the adapter routes per-node state internally). Both the Teapot runtime
+// adapter and hand-written baseline engines implement it.
+type Engine interface {
+	// Deliver a network message to node dst.
+	Deliver(dst int, m *runtime.Message) error
+	// Event injects a locally generated protocol event at a node.
+	Event(node int, tag int, id int) error
+	// Counters reports cumulative per-node work counters.
+	Counters(node int) CostCounters
+}
+
+// EventTags names the protocol events the machine raises; resolve with
+// ResolveTags. Unsupported events are -1.
+type EventTags struct {
+	ReadFault  int // access Invalid, load
+	WriteFault int // access Invalid, store
+	WriteRO    int // access ReadOnly, store
+	Evict      int
+	Sync       int // buffered-write synchronization
+	BeginPhase int // LCM phase entry
+	EndPhase   int // LCM phase exit
+}
+
+// ResolveTags resolves the conventional event names on a protocol.
+func ResolveTags(p *runtime.Protocol) EventTags {
+	return EventTags{
+		ReadFault:  p.MsgIndex("RD_FAULT"),
+		WriteFault: p.MsgIndex("WR_FAULT"),
+		WriteRO:    p.MsgIndex("WR_RO_FAULT"),
+		Evict:      p.MsgIndex("EVICT"),
+		Sync:       p.MsgIndex("SYNC"),
+		BeginPhase: p.MsgIndex("BEGIN_LCM_EV"),
+		EndPhase:   p.MsgIndex("END_LCM_EV"),
+	}
+}
+
+// OpKind classifies workload operations.
+type OpKind int
+
+// Workload operations.
+const (
+	OpCompute    OpKind = iota // local computation for Cycles cycles
+	OpRead                     // shared-memory load
+	OpWrite                    // shared-memory store
+	OpEvict                    // voluntary eviction of a clean copy
+	OpSync                     // synchronization point (buffered-write)
+	OpBeginPhase               // LCM phase entry
+	OpEndPhase                 // LCM phase exit
+	OpBarrier                  // application barrier (all nodes rendezvous)
+)
+
+// Op is one workload operation.
+type Op struct {
+	Kind   OpKind
+	Addr   int   // block, for Read/Write/Evict
+	Cycles int64 // for Compute
+}
+
+// Program supplies each node's operation stream.
+type Program interface {
+	// Next returns the node's next operation; ok=false when finished.
+	Next(node int) (op Op, ok bool)
+}
+
+// Config assembles a machine.
+type Config struct {
+	Nodes   int
+	Blocks  int
+	HomeOf  func(id int) int // default id % Nodes
+	Cost    CostModel
+	Tags    EventTags
+	Engine  Engine
+	Program Program
+	// MaxEvents bounds the simulation (safety net; 0 = default 100M).
+	MaxEvents int64
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Cycles     int64 // execution time = max node completion time
+	NodeCycles []int64
+	FaultTime  int64 // total cycles processors spent stalled on faults
+	Protocol   CostCounters
+	ProtoTime  int64 // cycles charged to protocol processing
+	Accesses   int64
+	Faults     int64
+	Messages   int64
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	cfg   Config
+	now   int64
+	queue eventQueue
+	seq   int64
+
+	nodeTime   []int64
+	stalledOn  []int // block or -1
+	stallStart []int64
+	finished   []bool
+	pendingOp  []*Op // op being retried after a fault
+	access     []sema.AccessMode
+	last       []CostCounters // per node, last counter snapshot
+
+	atBarrier []bool
+	nBarrier  int
+
+	stats Stats
+	err   error
+}
+
+// event is a scheduled occurrence.
+type event struct {
+	at   int64
+	seq  int64 // tie-breaker for determinism
+	kind int   // 0 = message delivery, 1 = processor step
+	node int
+	msg  *runtime.Message
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	if cfg.HomeOf == nil {
+		nodes := cfg.Nodes
+		cfg.HomeOf = func(id int) int { return id % nodes }
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 100_000_000
+	}
+	m := &Machine{
+		cfg:        cfg,
+		nodeTime:   make([]int64, cfg.Nodes),
+		stalledOn:  make([]int, cfg.Nodes),
+		stallStart: make([]int64, cfg.Nodes),
+		finished:   make([]bool, cfg.Nodes),
+		pendingOp:  make([]*Op, cfg.Nodes),
+		access:     make([]sema.AccessMode, cfg.Nodes*cfg.Blocks),
+		last:       make([]CostCounters, cfg.Nodes),
+	}
+	m.stats.NodeCycles = make([]int64, cfg.Nodes)
+	m.atBarrier = make([]bool, cfg.Nodes)
+	for n := range m.stalledOn {
+		m.stalledOn[n] = -1
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		m.access[cfg.HomeOf(b)*cfg.Blocks+b] = sema.AccReadWrite
+	}
+	return m
+}
+
+// SetEngine installs the protocol engine (which typically needs the
+// machine as its runtime.Machine, hence the two-step construction).
+func (m *Machine) SetEngine(e Engine) { m.cfg.Engine = e }
+
+// HomeNode implements runtime.Machine.
+func (m *Machine) HomeNode(id int) int { return m.cfg.HomeOf(id) }
+
+// Access returns the current access mode of (node, block).
+func (m *Machine) Access(node, id int) sema.AccessMode {
+	return m.access[node*m.cfg.Blocks+id]
+}
+
+// Send implements runtime.Machine: schedule delivery after the network
+// latency. Channels are in-order because latency is constant and ties
+// break by send sequence.
+func (m *Machine) Send(from, dst int, msg *runtime.Message) {
+	m.stats.Messages++
+	m.schedule(&event{at: m.now + m.cfg.Cost.NetLatency, kind: 0, node: dst, msg: msg})
+}
+
+// AccessChange implements runtime.Machine.
+func (m *Machine) AccessChange(node, id int, mode sema.AccessMode) {
+	m.access[node*m.cfg.Blocks+id] = mode
+}
+
+// RecvData implements runtime.Machine.
+func (m *Machine) RecvData(node, id int, mode sema.AccessMode) {
+	m.access[node*m.cfg.Blocks+id] = mode
+}
+
+// WakeUp implements runtime.Machine: unstall and resume the processor.
+// The access that faulted is satisfied atomically with the wakeup when the
+// granted permission allows it (as on Blizzard, where the faulting access
+// completes as part of fault resolution); otherwise a later recall racing
+// the processor's retry could starve a contended block forever.
+func (m *Machine) WakeUp(node, id int) {
+	if m.stalledOn[node] != id {
+		return
+	}
+	m.stalledOn[node] = -1
+	m.stats.FaultTime += m.now - m.stallStart[node]
+	if m.nodeTime[node] < m.now {
+		m.nodeTime[node] = m.now
+	}
+	if op := m.pendingOp[node]; op != nil && (op.Kind == OpRead || op.Kind == OpWrite) {
+		acc := m.Access(node, op.Addr)
+		// A wakeup on a faulted *write* that leaves the block read-only
+		// means the protocol performed the store on the processor's
+		// behalf (write-through/update protocols do exactly that in the
+		// fault handler); re-faulting would retry forever.
+		ok := accessOK(op.Kind, acc) ||
+			(op.Kind == OpWrite && acc == sema.AccReadOnly)
+		if ok {
+			m.nodeTime[node] += m.cfg.Cost.MemAccess
+			m.stats.Accesses++
+			m.pendingOp[node] = nil
+		}
+	}
+	m.schedule(&event{at: m.nodeTime[node], kind: 1, node: node})
+}
+
+// Print implements runtime.Machine.
+func (m *Machine) Print(node int, s string) {
+	// Protocol debug output is discarded in simulation runs.
+}
+
+func (m *Machine) schedule(e *event) {
+	e.seq = m.seq
+	m.seq++
+	heap.Push(&m.queue, e)
+}
+
+// chargeProtocol advances a node's clock by the protocol work done since
+// the last snapshot.
+func (m *Machine) chargeProtocol(node int, start int64) int64 {
+	cur := m.cfg.Engine.Counters(node)
+	delta := cur.Sub(m.last[node])
+	m.last[node] = cur
+	cost := m.cfg.Cost.Cycles(delta)
+	m.stats.Protocol = m.stats.Protocol.Add(delta)
+	m.stats.ProtoTime += cost
+	return start + cost
+}
+
+// Run executes the workload to completion and returns statistics.
+func (m *Machine) Run() (*Stats, error) {
+	for n := 0; n < m.cfg.Nodes; n++ {
+		m.schedule(&event{at: 0, kind: 1, node: n})
+	}
+	var events int64
+	for m.queue.Len() > 0 {
+		if events++; events > m.cfg.MaxEvents {
+			return nil, fmt.Errorf("tempest: event budget exhausted (livelock?)")
+		}
+		e := heap.Pop(&m.queue).(*event)
+		m.now = e.at
+		if e.kind == 0 {
+			m.deliver(e)
+		} else {
+			m.step(e.node)
+		}
+		if m.err != nil {
+			return nil, m.err
+		}
+	}
+	for n, stalled := range m.stalledOn {
+		if stalled >= 0 {
+			return nil, fmt.Errorf("tempest: node %d deadlocked on block %d", n, stalled)
+		}
+		if !m.finished[n] {
+			status := ""
+			for i := range m.finished {
+				status += fmt.Sprintf(" node%d{fin=%v bar=%v stall=%d}", i, m.finished[i], m.atBarrier[i], m.stalledOn[i])
+			}
+			return nil, fmt.Errorf("tempest: node %d never finished (%d/%d at barrier):%s",
+				n, m.nBarrier, m.cfg.Nodes, status)
+		}
+	}
+	for n := range m.nodeTime {
+		m.stats.NodeCycles[n] = m.nodeTime[n]
+		if m.nodeTime[n] > m.stats.Cycles {
+			m.stats.Cycles = m.nodeTime[n]
+		}
+	}
+	return &m.stats, nil
+}
+
+// deliver runs a protocol handler for an incoming message. Handlers
+// execute on the destination node and occupy its processor.
+func (m *Machine) deliver(e *event) {
+	start := m.nodeTime[e.node]
+	if start < m.now {
+		start = m.now
+	}
+	if err := m.cfg.Engine.Deliver(e.node, e.msg); err != nil {
+		m.err = err
+		return
+	}
+	m.nodeTime[e.node] = m.chargeProtocol(e.node, start)
+}
+
+// step executes the node's next workload operation(s).
+func (m *Machine) step(node int) {
+	if m.stalledOn[node] >= 0 || m.finished[node] || m.atBarrier[node] {
+		return
+	}
+	// Execute operations until the node faults or finishes. Each op
+	// advances the node clock; control returns to the event loop on
+	// faults (resumed by WakeUp) and at message deliveries (which the
+	// event queue interleaves by time).
+	for {
+		var op Op
+		if m.pendingOp[node] != nil {
+			op = *m.pendingOp[node]
+			m.pendingOp[node] = nil
+		} else {
+			var ok bool
+			op, ok = m.cfg.Program.Next(node)
+			if !ok {
+				m.finished[node] = true
+				return
+			}
+		}
+		switch op.Kind {
+		case OpCompute:
+			m.nodeTime[node] += op.Cycles
+		case OpRead, OpWrite:
+			acc := m.Access(node, op.Addr)
+			if accessOK(op.Kind, acc) {
+				m.stats.Accesses++
+				m.nodeTime[node] += m.cfg.Cost.MemAccess
+				break
+			}
+			// Access fault: trap, run the protocol handler, stall.
+			m.stats.Faults++
+			tag := m.faultTag(op.Kind, acc)
+			if tag < 0 {
+				m.err = fmt.Errorf("tempest: no fault event for op %v access %v", op.Kind, acc)
+				return
+			}
+			m.nodeTime[node] += m.cfg.Cost.FaultTrap
+			m.now = m.nodeTime[node]
+			m.stalledOn[node] = op.Addr
+			m.stallStart[node] = m.now
+			m.pendingOp[node] = &op // retry after wakeup
+			if err := m.cfg.Engine.Event(node, tag, op.Addr); err != nil {
+				m.err = err
+				return
+			}
+			m.nodeTime[node] = m.chargeProtocol(node, m.nodeTime[node])
+			// Whether the handler woke us synchronously (in which case
+			// WakeUp scheduled a continuation step) or we wait for a
+			// message, this step ends here; continuing the loop as well
+			// would run the processor twice.
+			return
+		case OpEvict:
+			if m.cfg.Tags.Evict >= 0 && m.Access(node, op.Addr) == sema.AccReadOnly &&
+				m.cfg.HomeOf(op.Addr) != node {
+				m.fireEvent(node, m.cfg.Tags.Evict, op.Addr)
+				if m.err != nil {
+					return
+				}
+			}
+		case OpSync:
+			if m.cfg.Tags.Sync < 0 {
+				break
+			}
+			// Synchronization point: raise SYNC on every block in turn
+			// (op.Addr carries resume progress). A protocol with pending
+			// buffered acquisitions keeps the processor stalled until the
+			// block's handler wakes it; then the sweep continues.
+			done := true
+			for b := op.Addr; b < m.cfg.Blocks; b++ {
+				m.now = m.nodeTime[node]
+				m.stalledOn[node] = b
+				m.stallStart[node] = m.now
+				if err := m.cfg.Engine.Event(node, m.cfg.Tags.Sync, b); err != nil {
+					m.err = err
+					return
+				}
+				m.nodeTime[node] = m.chargeProtocol(node, m.nodeTime[node])
+				if m.stalledOn[node] >= 0 {
+					cont := op
+					cont.Addr = b + 1
+					m.pendingOp[node] = &cont
+					done = false
+					break
+				}
+			}
+			if !done {
+				return
+			}
+		case OpBarrier:
+			// Application-level rendezvous: the paper's LCM and
+			// buffered-write protocols assume the program synchronizes
+			// phases. The last arriver releases everyone at its time.
+			m.atBarrier[node] = true
+			m.nBarrier++
+			if m.nBarrier < m.cfg.Nodes {
+				return
+			}
+			release := m.now
+			for n, t := range m.nodeTime {
+				if m.atBarrier[n] && t > release {
+					release = t
+				}
+			}
+			if m.nodeTime[node] > release {
+				release = m.nodeTime[node]
+			}
+			m.nBarrier = 0
+			for n := range m.atBarrier {
+				if !m.atBarrier[n] {
+					continue
+				}
+				m.atBarrier[n] = false
+				m.nodeTime[n] = release
+				if n != node {
+					m.schedule(&event{at: release, kind: 1, node: n})
+				}
+			}
+			continue
+		case OpBeginPhase:
+			if m.cfg.Tags.BeginPhase >= 0 {
+				m.phaseEvent(node, m.cfg.Tags.BeginPhase, op.Addr)
+				if m.err != nil {
+					return
+				}
+			}
+		case OpEndPhase:
+			if m.cfg.Tags.EndPhase >= 0 {
+				m.phaseEvent(node, m.cfg.Tags.EndPhase, op.Addr)
+				if m.err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// fireEvent injects a non-stalling protocol event for one block.
+func (m *Machine) fireEvent(node, tag, addr int) {
+	m.now = m.nodeTime[node]
+	if err := m.cfg.Engine.Event(node, tag, addr); err != nil {
+		m.err = err
+		return
+	}
+	m.nodeTime[node] = m.chargeProtocol(node, m.nodeTime[node])
+}
+
+// phaseEvent raises an LCM phase boundary. With addr >= 0 it targets one
+// block (the workload announces the blocks it will touch); addr < 0 sweeps
+// every block.
+func (m *Machine) phaseEvent(node, tag, addr int) {
+	if addr >= 0 {
+		m.fireEvent(node, tag, addr)
+		return
+	}
+	for b := 0; b < m.cfg.Blocks; b++ {
+		m.fireEvent(node, tag, b)
+		if m.err != nil {
+			return
+		}
+	}
+}
+
+// accessOK reports whether an access completes under the given mode.
+// Buffered mode (weak ordering) completes stores into the write buffer.
+func accessOK(kind OpKind, acc sema.AccessMode) bool {
+	switch acc {
+	case sema.AccReadWrite:
+		return true
+	case sema.AccReadOnly:
+		return kind == OpRead
+	case sema.AccBuffered:
+		return kind == OpWrite
+	}
+	return false
+}
+
+func (m *Machine) faultTag(kind OpKind, acc sema.AccessMode) int {
+	if kind == OpRead {
+		return m.cfg.Tags.ReadFault
+	}
+	if acc == sema.AccReadOnly {
+		return m.cfg.Tags.WriteRO
+	}
+	return m.cfg.Tags.WriteFault
+}

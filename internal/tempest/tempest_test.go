@@ -1,0 +1,244 @@
+package tempest_test
+
+import (
+	"testing"
+
+	"teapot/internal/protocols/stache"
+	"teapot/internal/runtime"
+	"teapot/internal/sema"
+	"teapot/internal/sim"
+	"teapot/internal/tempest"
+)
+
+// fixedProgram feeds predetermined per-node op slices.
+type fixedProgram struct {
+	ops [][]tempest.Op
+	pos []int
+}
+
+func newProgram(ops ...[]tempest.Op) *fixedProgram {
+	return &fixedProgram{ops: ops, pos: make([]int, len(ops))}
+}
+
+func (p *fixedProgram) Next(node int) (tempest.Op, bool) {
+	if p.pos[node] >= len(p.ops[node]) {
+		return tempest.Op{}, false
+	}
+	op := p.ops[node][p.pos[node]]
+	p.pos[node]++
+	return op, true
+}
+
+func stacheMachine(t *testing.T, nodes, blocks int, prog tempest.Program, cost tempest.CostModel) (*tempest.Machine, *tempest.TeapotEngine) {
+	t.Helper()
+	p := stache.MustCompile(true).Protocol
+	m := tempest.New(tempest.Config{
+		Nodes: nodes, Blocks: blocks,
+		Cost: cost, Tags: tempest.ResolveTags(p),
+		Program: prog,
+	})
+	te := tempest.NewTeapotEngine(p, nodes, blocks, m, stache.MustSupport(p))
+	m.SetEngine(te)
+	return m, te
+}
+
+func compute(c int64) tempest.Op { return tempest.Op{Kind: tempest.OpCompute, Cycles: c} }
+func read(b int) tempest.Op      { return tempest.Op{Kind: tempest.OpRead, Addr: b} }
+func write(b int) tempest.Op     { return tempest.Op{Kind: tempest.OpWrite, Addr: b} }
+func barrierOp() tempest.Op      { return tempest.Op{Kind: tempest.OpBarrier} }
+
+func TestComputeOnlyTiming(t *testing.T) {
+	m, _ := stacheMachine(t, 2, 1,
+		newProgram(
+			[]tempest.Op{compute(100), compute(50)},
+			[]tempest.Op{compute(30)},
+		), tempest.DefaultCost)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cycles != 150 {
+		t.Errorf("cycles = %d, want 150 (max node time)", stats.Cycles)
+	}
+	if stats.NodeCycles[0] != 150 || stats.NodeCycles[1] != 30 {
+		t.Errorf("node cycles = %v", stats.NodeCycles)
+	}
+	if stats.Faults != 0 || stats.Messages != 0 {
+		t.Errorf("unexpected protocol activity: %+v", stats)
+	}
+}
+
+func TestLocalAccessIsCheap(t *testing.T) {
+	// Node 0 is home of block 0: its accesses hit without faults.
+	m, _ := stacheMachine(t, 2, 1,
+		newProgram(
+			[]tempest.Op{read(0), write(0), read(0)},
+			nil,
+		), tempest.DefaultCost)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Faults != 0 {
+		t.Errorf("faults = %d, want 0", stats.Faults)
+	}
+	if stats.Accesses != 3 {
+		t.Errorf("accesses = %d, want 3", stats.Accesses)
+	}
+	if stats.Cycles != 3*tempest.DefaultCost.MemAccess {
+		t.Errorf("cycles = %d", stats.Cycles)
+	}
+}
+
+func TestRemoteReadFaultsOnceThenHits(t *testing.T) {
+	m, _ := stacheMachine(t, 2, 1,
+		newProgram(
+			nil,
+			[]tempest.Op{read(0), read(0), read(0)},
+		), tempest.DefaultCost)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Faults != 1 {
+		t.Errorf("faults = %d, want 1 (subsequent reads hit)", stats.Faults)
+	}
+	if stats.Messages != 2 { // GET_RO_REQ + GET_RO_RESP
+		t.Errorf("messages = %d, want 2", stats.Messages)
+	}
+	// The fault costs at least trap + 2 network hops.
+	min := tempest.DefaultCost.FaultTrap + 2*tempest.DefaultCost.NetLatency
+	if stats.Cycles < min {
+		t.Errorf("cycles = %d, want >= %d", stats.Cycles, min)
+	}
+	if stats.FaultTime <= 0 {
+		t.Errorf("fault time = %d", stats.FaultTime)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	m, _ := stacheMachine(t, 3, 1,
+		newProgram(
+			[]tempest.Op{compute(500), barrierOp(), compute(10)},
+			[]tempest.Op{compute(10), barrierOp(), compute(10)},
+			[]tempest.Op{barrierOp(), compute(10)},
+		), tempest.DefaultCost)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone leaves the barrier at 500 and finishes at 510.
+	for n, c := range stats.NodeCycles {
+		if c != 510 {
+			t.Errorf("node %d = %d cycles, want 510", n, c)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// A node that reaches a barrier no one else ever reaches: the run
+	// fails (node never finished) rather than hanging.
+	m, _ := stacheMachine(t, 2, 1,
+		newProgram(
+			[]tempest.Op{barrierOp()},
+			nil,
+		), tempest.DefaultCost)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected an error for the unmatched barrier")
+	}
+}
+
+func TestWriteInvalidatesAndFaultTimeAccrues(t *testing.T) {
+	m, _ := stacheMachine(t, 3, 1,
+		newProgram(
+			nil,
+			[]tempest.Op{read(0), compute(10)},
+			[]tempest.Op{compute(1000), write(0), compute(10)},
+		), tempest.DefaultCost)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Faults != 2 { // node1 read, node2 write
+		t.Errorf("faults = %d, want 2", stats.Faults)
+	}
+	if stats.Protocol.Handlers == 0 || stats.ProtoTime == 0 {
+		t.Errorf("protocol work not recorded: %+v", stats.Protocol)
+	}
+}
+
+func TestCostModelCycles(t *testing.T) {
+	cm := tempest.CostModel{
+		Dispatch: 10, PerInstr: 2, HeapCont: 50, StaticCont: 5,
+		Resume: 20, ConstResume: 3, QueueRecord: 30, SendOverhead: 7,
+		SupportCall: 4,
+	}
+	d := tempest.CostCounters{
+		Handlers: 2, Instrs: 10, HeapConts: 1, StaticConts: 2,
+		Resumes: 1, ConstResumes: 3, QueueRecords: 1, Sends: 4, Calls: 5,
+	}
+	want := int64(2*10 + 10*2 + 1*50 + 2*5 + 1*20 + 3*3 + 1*30 + 4*7 + 5*4)
+	if got := cm.Cycles(d); got != want {
+		t.Errorf("Cycles = %d, want %d", got, want)
+	}
+	// Sub/Add are inverses.
+	e := d.Add(d).Sub(d)
+	if e != d {
+		t.Errorf("Add/Sub not inverse: %+v", e)
+	}
+}
+
+func TestResolveTags(t *testing.T) {
+	p := stache.MustCompile(true).Protocol
+	tags := tempest.ResolveTags(p)
+	if tags.ReadFault < 0 || tags.WriteFault < 0 || tags.WriteRO < 0 || tags.Evict < 0 {
+		t.Errorf("stache tags = %+v", tags)
+	}
+	if tags.Sync >= 0 || tags.BeginPhase >= 0 {
+		t.Errorf("stache should not resolve SYNC/phase tags: %+v", tags)
+	}
+}
+
+func TestEvictOpOnlyFiresOnRemoteReadOnly(t *testing.T) {
+	evict := func(b int) tempest.Op { return tempest.Op{Kind: tempest.OpEvict, Addr: b} }
+	m, te := stacheMachine(t, 2, 1,
+		newProgram(
+			[]tempest.Op{evict(0)}, // home: must be a no-op
+			[]tempest.Op{read(0), evict(0)},
+		), tempest.DefaultCost)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The remote eviction generates the handshake (EVICT_RO_REQ/ACK) on
+	// top of the fill pair.
+	if stats.Messages != 4 {
+		t.Errorf("messages = %d, want 4", stats.Messages)
+	}
+	if got := te.Engines[1].Blocks[0].StateName(te.Engines[1].Proto); got != "Cache_Inv" {
+		t.Errorf("node1 block state = %s, want Cache_Inv", got)
+	}
+}
+
+// TestZeroCostModelStillRuns guards the wire-equivalence configuration.
+func TestZeroCostModelStillRuns(t *testing.T) {
+	w := sim.Gauss(sim.WorkloadSpec{Nodes: 4, Iters: 1, Seed: 5})
+	p := stache.MustCompile(true).Protocol
+	stats, err := sim.Run(sim.Config{
+		Nodes: 4, Blocks: w.Blocks,
+		Cost: tempest.CostModel{MemAccess: 1, NetLatency: 1},
+		Tags: tempest.ResolveTags(p),
+		MakeEngine: func(m runtime.Machine) tempest.Engine {
+			return tempest.NewTeapotEngine(p, 4, w.Blocks, m, stache.MustSupport(p))
+		},
+		Program: w.Trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ProtoTime != 0 {
+		t.Errorf("zero-cost model charged %d protocol cycles", stats.ProtoTime)
+	}
+}
+
+var _ = sema.AccReadOnly // keep sema imported for future assertions

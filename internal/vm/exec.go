@@ -1,0 +1,389 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"teapot/internal/ir"
+	"teapot/internal/sema"
+	"teapot/internal/token"
+)
+
+// Host is the embedding a handler activation runs against: the simulator
+// runtime or the model checker. All protocol effects flow through it.
+type Host interface {
+	// Per-block protocol variables of the current block.
+	LoadVar(slot int) Value
+	StoreVar(slot int, v Value)
+	// ModConst resolves an abstract module constant by slot.
+	ModConst(slot int) Value
+	// Current-message builtin values.
+	MessageTag() Value
+	MessageSrc() Value
+	// Effects.
+	Send(data bool, dst, tag, id Value, payload []Value) error
+	SetState(sv *StateVal) error
+	Enqueue() error
+	Nack() error
+	Drop() error
+	WakeUp(id Value) error
+	AccessChange(id Value, mode sema.AccessMode) error
+	RecvData(id Value, mode sema.AccessMode) error
+	MyNode() Value
+	HomeNode(id Value) Value
+	// BlockID and BlockInfo identify the block the current dispatch
+	// concerns; resumed fragments rematerialize their id/info parameters
+	// from them instead of saving them in continuation records.
+	BlockID() Value
+	BlockInfo() Value
+	// CallSupport invokes a module support routine. Arguments are passed
+	// by reference so var parameters can be mutated.
+	CallSupport(name string, args []*Value) (Value, error)
+	// ProtocolError reports a protocol-level error (Error builtin,
+	// division by zero, runaway handler).
+	ProtocolError(msg string) error
+	Print(s string)
+}
+
+// Counters accumulates execution statistics across handler activations.
+// These feed the paper's Table 1/2 "Allocs" columns and the simulator's
+// cycle cost model.
+type Counters struct {
+	Instrs       int64 // IR instructions interpreted
+	Handlers     int64 // handler activations (dispatches)
+	HeapConts    int64 // dynamically allocated continuation records
+	StaticConts  int64 // statically allocated (optimized-away) records
+	Resumes      int64 // dynamic (indirect) resumes
+	ConstResumes int64 // constant-continuation (direct) resumes
+	Suspends     int64
+	Calls        int64 // support routine calls
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(o Counters) {
+	c.Instrs += o.Instrs
+	c.Handlers += o.Handlers
+	c.HeapConts += o.HeapConts
+	c.StaticConts += o.StaticConts
+	c.Resumes += o.Resumes
+	c.ConstResumes += o.ConstResumes
+	c.Suspends += o.Suspends
+	c.Calls += o.Calls
+}
+
+// Exec interprets handlers of one compiled program.
+type Exec struct {
+	Prog     *ir.Program
+	Counters Counters
+	// ConstCont mirrors the compile option: when set, continuations at
+	// static/constant sites are not counted as heap allocations.
+	ConstCont bool
+	// MaxSteps bounds one activation (runaway-loop guard); 0 = default.
+	MaxSteps int
+}
+
+// DefaultMaxSteps bounds a single handler activation.
+const DefaultMaxSteps = 1 << 20
+
+// RunHandler executes handler f from its entry fragment. stateArgs are the
+// current state's arguments; params are the delivered message's standard
+// triple plus payload. The activation runs to completion (through any
+// Resumes) before returning.
+func (x *Exec) RunHandler(h Host, f *ir.Func, stateArgs, params []Value) error {
+	if len(stateArgs) != f.NumStateParams {
+		return fmt.Errorf("vm: %s: got %d state args, want %d", f.Name, len(stateArgs), f.NumStateParams)
+	}
+	if len(params) != f.NumParams {
+		return fmt.Errorf("vm: %s: got %d params, want %d", f.Name, len(params), f.NumParams)
+	}
+	regs := make([]Value, f.NumRegs)
+	copy(regs, stateArgs)
+	copy(regs[f.NumStateParams:], params)
+	x.Counters.Handlers++
+	return x.run(h, f, f.Frags[0].Start, regs)
+}
+
+// Resume executes a continuation (used by the runtime when a Resume
+// transfers into a previously suspended handler from outside the VM; within
+// an activation resumes are handled inline).
+func (x *Exec) Resume(h Host, c *Cont) error {
+	regs := x.restore(h, c)
+	return x.run(h, c.Fn, c.Fn.Frags[c.Frag].Start, regs)
+}
+
+func (x *Exec) restore(h Host, c *Cont) []Value {
+	regs := make([]Value, c.Fn.NumRegs)
+	saved := c.Fn.Frags[c.Frag].Saved
+	for i, r := range saved {
+		regs[r] = c.Saved[i]
+	}
+	// Rematerialize the block-derived parameters (see cont.Transform).
+	if c.Fn.NumParams >= 2 {
+		regs[c.Fn.ParamReg(0)] = h.BlockID()
+		regs[c.Fn.ParamReg(1)] = h.BlockInfo()
+	}
+	return regs
+}
+
+func (x *Exec) run(h Host, f *ir.Func, pc int, regs []Value) error {
+	steps := 0
+	max := x.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	for {
+		if pc >= len(f.Code) {
+			return nil // fell off the end: implicit return
+		}
+		if steps++; steps > max {
+			return h.ProtocolError(fmt.Sprintf("handler %s exceeded %d steps (runaway loop?)", f.Name, max))
+		}
+		x.Counters.Instrs++
+		in := &f.Code[pc]
+		switch in.Op {
+		case ir.OpNop:
+		case ir.OpConst:
+			regs[in.Dst] = constValue(in)
+		case ir.OpConstStr:
+			regs[in.Dst] = StringVal(in.Str)
+		case ir.OpMove:
+			regs[in.Dst] = regs[in.A]
+		case ir.OpBin:
+			v, err := x.binop(h, in, regs[in.A], regs[in.B])
+			if err != nil {
+				return err
+			}
+			regs[in.Dst] = v
+		case ir.OpUn:
+			switch in.Tok {
+			case token.KWNOT:
+				regs[in.Dst] = BoolVal(!regs[in.A].Bool())
+			case token.MINUS:
+				regs[in.Dst] = IntVal(-regs[in.A].Int)
+			default:
+				return fmt.Errorf("vm: bad unary op %v", in.Tok)
+			}
+		case ir.OpLoadVar:
+			regs[in.Dst] = h.LoadVar(in.Idx)
+		case ir.OpStoreVar:
+			h.StoreVar(in.Idx, regs[in.A])
+		case ir.OpModConst:
+			regs[in.Dst] = h.ModConst(in.Idx)
+		case ir.OpBuiltinVal:
+			switch sema.Builtin(in.Idx) {
+			case sema.BMessageTag:
+				regs[in.Dst] = h.MessageTag()
+			case sema.BMessageSrc:
+				regs[in.Dst] = h.MessageSrc()
+			default:
+				return fmt.Errorf("vm: bad builtin value %d", in.Idx)
+			}
+		case ir.OpCall:
+			if err := x.callOp(h, f, in, regs); err != nil {
+				return err
+			}
+		case ir.OpMakeState:
+			args := make([]Value, len(in.Args))
+			for i, r := range in.Args {
+				args[i] = regs[r]
+			}
+			regs[in.Dst] = StateValue(&StateVal{State: in.Idx, Args: args})
+		case ir.OpMakeCont:
+			regs[in.Dst] = x.makeCont(f, in, regs)
+		case ir.OpSuspend:
+			x.Counters.Suspends++
+			sv := regs[in.A].State()
+			if sv == nil {
+				return h.ProtocolError(fmt.Sprintf("suspend in %s to non-state value", f.Name))
+			}
+			return h.SetState(sv)
+		case ir.OpResume:
+			c := regs[in.A].Cont()
+			if c == nil {
+				return h.ProtocolError(fmt.Sprintf("resume in %s of non-continuation value", f.Name))
+			}
+			if in.Idx >= 0 {
+				x.Counters.ConstResumes++
+			} else {
+				x.Counters.Resumes++
+			}
+			// Tail-transfer into the suspended handler.
+			f = c.Fn
+			regs = x.restore(h, c)
+			pc = f.Frags[c.Frag].Start
+			continue
+		case ir.OpReturn:
+			return nil
+		case ir.OpJump:
+			pc = in.Idx
+			continue
+		case ir.OpBranch:
+			if regs[in.A].Bool() {
+				pc = in.Idx
+			} else {
+				pc = in.Idx2
+			}
+			continue
+		case ir.OpPrint:
+			parts := make([]string, len(in.Args))
+			for i, r := range in.Args {
+				parts[i] = regs[r].String()
+			}
+			h.Print(strings.Join(parts, " "))
+		default:
+			return fmt.Errorf("vm: unknown opcode %v", in.Op)
+		}
+		pc++
+	}
+}
+
+func constValue(in *ir.Instr) Value {
+	switch in.Kind {
+	case ir.KBool:
+		return Value{Kind: KBool, Int: in.Int}
+	case ir.KNode:
+		return Value{Kind: KNode, Int: in.Int}
+	case ir.KID:
+		return Value{Kind: KID, Int: in.Int}
+	case ir.KMsg:
+		return Value{Kind: KMsg, Int: in.Int}
+	case ir.KAccess:
+		return Value{Kind: KAccess, Int: in.Int}
+	}
+	return IntVal(in.Int)
+}
+
+func (x *Exec) makeCont(f *ir.Func, in *ir.Instr, regs []Value) Value {
+	saved := make([]Value, len(in.Args))
+	for i, r := range in.Args {
+		saved[i] = regs[r]
+	}
+	site := f.Frags[in.Idx].Site
+	heap := true
+	if x.ConstCont && site >= 0 && site < len(x.Prog.Sites) {
+		s := x.Prog.Sites[site]
+		if s.Static || s.Constant {
+			heap = false
+		}
+	}
+	if heap {
+		x.Counters.HeapConts++
+	} else {
+		x.Counters.StaticConts++
+	}
+	return ContVal(&Cont{Fn: f, Frag: in.Idx, Saved: saved, Site: site, Heap: heap})
+}
+
+func (x *Exec) binop(h Host, in *ir.Instr, a, b Value) (Value, error) {
+	switch in.Tok {
+	case token.PLUS:
+		return IntVal(a.Int + b.Int), nil
+	case token.MINUS:
+		return IntVal(a.Int - b.Int), nil
+	case token.STAR:
+		return IntVal(a.Int * b.Int), nil
+	case token.SLASH:
+		if b.Int == 0 {
+			return Value{}, h.ProtocolError("division by zero")
+		}
+		return IntVal(a.Int / b.Int), nil
+	case token.PERCENT:
+		if b.Int == 0 {
+			return Value{}, h.ProtocolError("modulo by zero")
+		}
+		return IntVal(a.Int % b.Int), nil
+	case token.EQ:
+		return BoolVal(Equal(a, b)), nil
+	case token.NEQ:
+		return BoolVal(!Equal(a, b)), nil
+	case token.LT:
+		return BoolVal(a.Int < b.Int), nil
+	case token.LE:
+		return BoolVal(a.Int <= b.Int), nil
+	case token.GT:
+		return BoolVal(a.Int > b.Int), nil
+	case token.GE:
+		return BoolVal(a.Int >= b.Int), nil
+	case token.AND:
+		return BoolVal(a.Bool() && b.Bool()), nil
+	case token.OR:
+		return BoolVal(a.Bool() || b.Bool()), nil
+	}
+	return Value{}, fmt.Errorf("vm: bad binary op %v", in.Tok)
+}
+
+func (x *Exec) callOp(h Host, f *ir.Func, in *ir.Instr, regs []Value) error {
+	switch in.Fn.Builtin {
+	case sema.BNone:
+		x.Counters.Calls++
+		args := make([]*Value, len(in.Args))
+		for i, r := range in.Args {
+			args[i] = &regs[r]
+		}
+		res, err := h.CallSupport(in.Fn.Name, args)
+		if err != nil {
+			return err
+		}
+		if in.Dst != ir.NoReg {
+			regs[in.Dst] = res
+		}
+		return nil
+	case sema.BSend, sema.BSendData:
+		payload := make([]Value, 0, len(in.Args)-3)
+		for _, r := range in.Args[3:] {
+			payload = append(payload, regs[r])
+		}
+		return h.Send(in.Fn.Builtin == sema.BSendData, regs[in.Args[0]], regs[in.Args[1]], regs[in.Args[2]], payload)
+	case sema.BSetState:
+		sv := regs[in.Args[1]].State()
+		if sv == nil {
+			return h.ProtocolError("SetState of non-state value")
+		}
+		return h.SetState(sv)
+	case sema.BEnqueue:
+		return h.Enqueue()
+	case sema.BNack:
+		return h.Nack()
+	case sema.BDrop:
+		return h.Drop()
+	case sema.BError:
+		msg := regs[in.Args[0]].Str
+		extra := make([]any, 0, len(in.Args)-1)
+		for _, r := range in.Args[1:] {
+			extra = append(extra, regs[r].String())
+		}
+		if len(extra) > 0 && strings.Contains(msg, "%") {
+			msg = fmt.Sprintf(strings.ReplaceAll(msg, "%s", "%v"), extra...)
+		} else if len(extra) > 0 {
+			msg = fmt.Sprintf("%s %v", msg, extra)
+		}
+		return h.ProtocolError(msg)
+	case sema.BWakeUp:
+		return h.WakeUp(regs[in.Args[0]])
+	case sema.BAccessChange:
+		return h.AccessChange(regs[in.Args[0]], sema.AccessMode(regs[in.Args[1]].Int))
+	case sema.BRecvData:
+		return h.RecvData(regs[in.Args[0]], sema.AccessMode(regs[in.Args[1]].Int))
+	case sema.BMyNode:
+		if in.Dst != ir.NoReg {
+			regs[in.Dst] = h.MyNode()
+		}
+		return nil
+	case sema.BHomeNode:
+		if in.Dst != ir.NoReg {
+			regs[in.Dst] = h.HomeNode(regs[in.Args[0]])
+		}
+		return nil
+	case sema.BMsgToStr:
+		if in.Dst != ir.NoReg {
+			m := int(regs[in.Args[0]].Int)
+			name := fmt.Sprintf("msg%d", m)
+			if m >= 0 && m < len(x.Prog.Sema.Messages) {
+				name = x.Prog.Sema.Messages[m].Name
+			}
+			regs[in.Dst] = StringVal(name)
+		}
+		return nil
+	}
+	return fmt.Errorf("vm: unknown builtin %d", in.Fn.Builtin)
+}
