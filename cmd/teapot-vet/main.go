@@ -1,0 +1,125 @@
+// Teapot-vet runs the static protocol analyses (internal/analysis) over
+// Teapot sources and reports findings the compiler itself does not reject:
+// unhandled state/message pairs, unreachable and dead-end states, leaked
+// or stuck continuations, deferred-queue progress hazards, IR hygiene
+// problems, and avoidable continuation allocations.
+//
+// Usage:
+//
+//	teapot-vet [flags] [target ...]
+//
+// A target is a bundled protocol name (stache, stache-cas, lcm, ...), a
+// .tea source file, or a Go-style path into the bundled protocol tree
+// (e.g. ./internal/protocols/...), which — like no targets at all — vets
+// every bundled protocol except the seeded-bug fixtures.
+//
+// Flags:
+//
+//	-all           also print info-level findings (advisory, never affect
+//	               the exit)
+//	-O             vet the optimized build (default true)
+//	-home-start s  initial home-side state for .tea targets
+//	-cache-start s initial cache-side state for .tea targets
+//
+// Exit status is 0 when no target has findings at warning level or above,
+// 1 when some target does, and 2 on usage or compile errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"teapot/internal/analysis"
+	"teapot/internal/core"
+	"teapot/internal/protocols"
+	"teapot/internal/source"
+)
+
+func main() {
+	var (
+		all        = flag.Bool("all", false, "also print info-level findings")
+		optimize   = flag.Bool("O", true, "vet the optimized build")
+		homeStart  = flag.String("home-start", "Home_Idle", "initial home-side state for .tea targets")
+		cacheStart = flag.String("cache-start", "Cache_Inv", "initial cache-side state for .tea targets")
+	)
+	flag.Parse()
+
+	targets, err := resolve(flag.Args(), *homeStart, *cacheStart)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teapot-vet:", err)
+		os.Exit(2)
+	}
+
+	dirty := false
+	for _, tgt := range targets {
+		cfg := tgt.Config
+		cfg.Optimize = *optimize
+		art, err := core.Compile(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teapot-vet: %s: %v\n", cfg.Name, err)
+			os.Exit(2)
+		}
+		rep := analysis.Analyze(art.Protocol)
+		for _, d := range rep.Findings {
+			if d.Severity > source.SevWarning && !*all {
+				continue
+			}
+			fmt.Println(analysis.Format(d))
+		}
+		if len(rep.Actionable()) > 0 {
+			dirty = true
+		}
+	}
+	if dirty {
+		os.Exit(1)
+	}
+}
+
+// resolve expands the command-line targets into compile configurations.
+func resolve(args []string, homeStart, cacheStart string) ([]protocols.Entry, error) {
+	if len(args) == 0 {
+		return bundled(), nil
+	}
+	var out []protocols.Entry
+	for _, a := range args {
+		switch {
+		case strings.Contains(a, "internal/protocols"):
+			// A Go-style package path: sweep the bundled set.
+			out = append(out, bundled()...)
+		case strings.HasSuffix(a, ".tea"):
+			b, err := os.ReadFile(a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, protocols.Entry{
+				Name: a,
+				Config: core.Config{
+					Name: a, Source: string(b), Optimize: true,
+					HomeStart: homeStart, CacheStart: cacheStart,
+				},
+			})
+		default:
+			e, ok := protocols.Lookup(a)
+			if !ok {
+				return nil, fmt.Errorf("unknown protocol %q (bundled: %s)",
+					a, strings.Join(protocols.Names(), ", "))
+			}
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// bundled returns every registered protocol except the seeded-bug
+// fixtures, which are negative test material and fail by design.
+func bundled() []protocols.Entry {
+	var out []protocols.Entry
+	for _, e := range protocols.All() {
+		if !e.Buggy {
+			out = append(out, e)
+		}
+	}
+	return out
+}

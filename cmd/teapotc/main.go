@@ -25,16 +25,16 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+
+	"teapot/internal/analysis"
 	"teapot/internal/ast"
 	"teapot/internal/codegen"
 	"teapot/internal/cont"
 	"teapot/internal/core"
 	"teapot/internal/dot"
 	"teapot/internal/murphi"
-	"teapot/internal/protocols/bufwrite"
-	"teapot/internal/protocols/lcm"
-	"teapot/internal/protocols/stache"
-	"teapot/internal/protocols/update"
+	"teapot/internal/protocols"
 )
 
 func main() {
@@ -48,19 +48,38 @@ func main() {
 		outFile    = flag.String("o", "", "output file (default stdout)")
 		homeStart  = flag.String("home-start", "Home_Idle", "initial home-side state")
 		cacheStart = flag.String("cache-start", "Cache_Inv", "initial cache-side state")
+		vet        = flag.Bool("vet", false, "run the static protocol analyses and report findings")
 	)
 	flag.Parse()
 
-	src, name, err := loadSource(*builtin, flag.Args())
+	cfg, err := loadSource(*builtin, flag.Args())
 	if err != nil {
 		fatal(err)
 	}
-	art, err := core.Compile(core.Config{
-		Name: name, Source: src, Optimize: *optimize,
-		HomeStart: *homeStart, CacheStart: *cacheStart,
-	})
+	cfg.Optimize = *optimize
+	// Start-state flags apply to source files; for builtins the registry
+	// knows the right states unless the flags are given explicitly.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if cfg.HomeStart == "" || explicit["home-start"] {
+		cfg.HomeStart = *homeStart
+	}
+	if cfg.CacheStart == "" || explicit["cache-start"] {
+		cfg.CacheStart = *cacheStart
+	}
+	name := cfg.Name
+	art, err := core.Compile(cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *vet {
+		rep := analysis.Analyze(art.Protocol)
+		fmt.Print(rep)
+		if len(rep.Actionable()) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var out string
@@ -93,37 +112,23 @@ func main() {
 	}
 }
 
-func loadSource(builtin string, args []string) (src, name string, err error) {
-	switch builtin {
-	case "stache":
-		return stache.Source, "stache.tea", nil
-	case "stache-cas":
-		return stache.CASSource, "stache-cas.tea", nil
-	case "stache-buggy":
-		return stache.BuggySource, "stache-buggy.tea", nil
-	case "lcm":
-		return lcm.Source(lcm.Base), "lcm.tea", nil
-	case "lcm-update":
-		return lcm.Source(lcm.Update), "lcm-update.tea", nil
-	case "lcm-mcc":
-		return lcm.Source(lcm.MCC), "lcm-mcc.tea", nil
-	case "lcm-both":
-		return lcm.Source(lcm.Both), "lcm-both.tea", nil
-	case "bufwrite":
-		return bufwrite.Source, "bufwrite.tea", nil
-	case "update":
-		return update.Source, "update.tea", nil
-	case "":
-		if len(args) != 1 {
-			return "", "", fmt.Errorf("usage: teapotc [flags] file.tea (or -builtin name)")
+func loadSource(builtin string, args []string) (cfg core.Config, err error) {
+	if builtin != "" {
+		e, ok := protocols.Lookup(builtin)
+		if !ok {
+			return cfg, fmt.Errorf("unknown builtin %q (bundled: %s)",
+				builtin, strings.Join(protocols.Names(), ", "))
 		}
-		b, err := os.ReadFile(args[0])
-		if err != nil {
-			return "", "", err
-		}
-		return string(b), args[0], nil
+		return e.Config, nil
 	}
-	return "", "", fmt.Errorf("unknown builtin %q", builtin)
+	if len(args) != 1 {
+		return cfg, fmt.Errorf("usage: teapotc [flags] file.tea (or -builtin name)")
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return cfg, err
+	}
+	return core.Config{Name: args[0], Source: string(b)}, nil
 }
 
 func stats(art *core.Artifacts) string {

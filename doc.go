@@ -9,6 +9,8 @@
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduced tables and figures. The public entry
-// point is internal/core.Compile; the runnable examples live under
-// examples/.
+// points are internal/core.Compile, which runs the full pipeline, and
+// internal/core.Vet, which runs the static protocol analyses
+// (internal/analysis, also available as the teapot-vet command) over a
+// compiled protocol; the runnable examples live under examples/.
 package teapot

@@ -1,7 +1,9 @@
 // Verification: the paper's §7 story — model checking finds a deadlock in
 // a Stache variant that mishandles the upgrade/invalidate race, producing
 // the event trace that explains it; the fixed protocol then verifies
-// clean, including on a reordering network.
+// clean, including on a reordering network. Before exploring any state
+// space, the static analyses (teapot-vet) already name the offending
+// state and message.
 //
 //	go run ./examples/verification
 //
@@ -14,6 +16,8 @@ import (
 	"fmt"
 	"log"
 
+	"teapot/internal/analysis"
+	"teapot/internal/core"
 	"teapot/internal/mc"
 	"teapot/internal/protocols/stache"
 )
@@ -21,11 +25,21 @@ import (
 func main() {
 	fmt.Println("== 1. The buggy protocol ==")
 	fmt.Println("A node waiting for an upgrade merely queues the home's")
-	fmt.Println("invalidation instead of acknowledging it. Exploring...")
+	fmt.Println("invalidation instead of acknowledging it.")
 	buggy, err := stache.CompileBuggy()
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	fmt.Println("\nStatic analysis (teapot-vet) flags it without exploring")
+	fmt.Println("a single machine state:")
+	fmt.Println()
+	for _, d := range core.Vet(buggy) {
+		fmt.Println("  " + analysis.Format(d))
+	}
+
+	fmt.Println("\nThe model checker confirms the hazard with a concrete")
+	fmt.Println("interleaving. Exploring...")
 	res, err := mc.Check(mc.Config{
 		Proto: buggy, Support: stache.MustSupport(buggy),
 		Nodes: 2, Blocks: 1,
@@ -41,6 +55,13 @@ func main() {
 
 	fmt.Println("== 2. The fixed protocol ==")
 	fixed := stache.MustCompile(true)
+	if ds := core.Vet(fixed.Protocol); len(ds) == 0 {
+		fmt.Println("teapot-vet: no findings.")
+	} else {
+		for _, d := range ds {
+			fmt.Println(analysis.Format(d))
+		}
+	}
 	for _, reorder := range []int{0, 1} {
 		res, err := mc.Check(mc.Config{
 			Proto: fixed.Protocol, Support: stache.MustSupport(fixed.Protocol),

@@ -1,0 +1,244 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"teapot/internal/analysis"
+	"teapot/internal/core"
+	"teapot/internal/runtime"
+	"teapot/internal/source"
+)
+
+func compile(t *testing.T, src string, optimize bool) *runtime.Protocol {
+	t.Helper()
+	a, err := core.Compile(core.Config{
+		Name: "p.tea", Source: src, Optimize: optimize,
+		HomeStart: "A", CacheStart: "A",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Protocol
+}
+
+func vet(t *testing.T, src string) *analysis.Report {
+	t.Helper()
+	return analysis.Analyze(compile(t, src, true))
+}
+
+const defaultDrop = `  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+`
+
+func TestCoverageMissing(t *testing.T) {
+	rep := vet(t, `
+protocol P begin state A(); message GO; message OK; end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+end;
+`)
+	ds := rep.ByCheck("coverage")
+	if len(ds) != 1 {
+		t.Fatalf("coverage findings = %d, report:\n%s", len(ds), rep)
+	}
+	if d := ds[0]; d.Severity != source.SevError || !strings.Contains(d.Msg, "OK") {
+		t.Errorf("finding = %v", d)
+	}
+}
+
+func TestUnreachableState(t *testing.T) {
+	rep := vet(t, `
+protocol P begin state A(); state D(); message GO; end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+`+defaultDrop+`end;
+state P.D() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+`+defaultDrop+`end;
+`)
+	ds := rep.ByCheck("unreachable")
+	if len(ds) != 1 || !strings.Contains(ds[0].Msg, "D") {
+		t.Fatalf("unreachable findings = %v, report:\n%s", ds, rep)
+	}
+}
+
+func TestNoExitAndStuckContinuation(t *testing.T) {
+	rep := vet(t, `
+protocol P begin
+  state A(); state B(C : CONT) transient;
+  message GO; message OK;
+end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Suspend(L, B{L}); end;
+`+defaultDrop+`end;
+state P.B(C : CONT) begin
+  message OK (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+`+defaultDrop+`end;
+`)
+	if ds := rep.ByCheck("no-exit"); len(ds) != 1 || !strings.Contains(ds[0].Msg, "B") {
+		t.Errorf("no-exit findings = %v, report:\n%s", ds, rep)
+	}
+	if ds := rep.ByCheck("cont-stuck"); len(ds) != 1 || !strings.Contains(ds[0].Msg, "B") {
+		t.Errorf("cont-stuck findings = %v, report:\n%s", ds, rep)
+	}
+}
+
+func TestContinuationLeak(t *testing.T) {
+	rep := vet(t, `
+protocol P begin
+  state A(); state B(C : CONT) transient;
+  message GO; message OK; message OK2;
+end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Suspend(L, B{L}); end;
+`+defaultDrop+`end;
+state P.B(C : CONT) begin
+  message OK (id : ID; var info : INFO; src : NODE) begin SetState(info, A{}); end;
+  message OK2 (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+`+defaultDrop+`end;
+`)
+	ds := rep.ByCheck("cont-leak")
+	if len(ds) != 1 || !strings.Contains(ds[0].Msg, "OK") {
+		t.Fatalf("cont-leak findings = %v, report:\n%s", ds, rep)
+	}
+	if len(rep.ByCheck("cont-stuck")) != 0 {
+		t.Errorf("cont-stuck should not fire (OK2 resumes), report:\n%s", rep)
+	}
+}
+
+func TestQueueStuck(t *testing.T) {
+	rep := vet(t, `
+protocol P begin state A(); message GO; end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Send(src, GO, id); end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Enqueue(); end;
+end;
+`)
+	ds := rep.ByCheck("queue-stuck")
+	if len(ds) != 1 || !strings.Contains(ds[0].Msg, "A") {
+		t.Fatalf("queue-stuck findings = %v, report:\n%s", ds, rep)
+	}
+}
+
+// TestDeferDeadlock builds the §7 bug shape in miniature: REQ is answered
+// synchronously (with ACK) by every dedicated handler, the home suspends
+// awaiting that ACK, and transient state C3 — entered from a state that
+// does handle REQ — defers it via DEFAULT Enqueue.
+func TestDeferDeadlock(t *testing.T) {
+	src := `
+protocol P begin
+  state H1(); state HT(C : CONT) transient;
+  state A(); state C2(); state C3(C : CONT) transient;
+  message REQ; message ACK; message GRANT; message EV; message EV2;
+end;
+state P.H1() begin
+  message EV (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(src, REQ, id);
+    Suspend(L, HT{L});
+  end;
+` + defaultDrop + `end;
+state P.HT(C : CONT) begin
+  message ACK (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Enqueue(); end;
+end;
+state P.A() begin
+  message REQ (id : ID; var info : INFO; src : NODE) begin Send(src, ACK, id); end;
+  message EV (id : ID; var info : INFO; src : NODE) begin Suspend(L, C3{L}); end;
+  message EV2 (id : ID; var info : INFO; src : NODE) begin SetState(info, C2{}); end;
+` + defaultDrop + `end;
+state P.C2() begin
+  message REQ (id : ID; var info : INFO; src : NODE) begin Send(src, ACK, id); end;
+` + defaultDrop + `end;
+state P.C3(C : CONT) begin
+  message GRANT (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Enqueue(); end;
+end;
+`
+	a, err := core.Compile(core.Config{
+		Name: "p.tea", Source: src, Optimize: true,
+		HomeStart: "H1", CacheStart: "A",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := analysis.Analyze(a.Protocol)
+	ds := rep.ByCheck("defer-deadlock")
+	if len(ds) != 1 {
+		t.Fatalf("defer-deadlock findings = %d, report:\n%s", len(ds), rep)
+	}
+	for _, want := range []string{"C3", "REQ", "ACK"} {
+		if !strings.Contains(ds[0].Msg, want) {
+			t.Errorf("finding %q lacks %q", ds[0].Msg, want)
+		}
+	}
+}
+
+func TestDeadStore(t *testing.T) {
+	rep := vet(t, `
+protocol P begin state A(); message GO; end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE)
+  var x : int;
+  begin
+    x := 1;
+  end;
+`+defaultDrop+`end;
+`)
+	ds := rep.ByCheck("dead-store")
+	if len(ds) != 1 {
+		t.Fatalf("dead-store findings = %v, report:\n%s", ds, rep)
+	}
+}
+
+func TestUnassignedRead(t *testing.T) {
+	rep := vet(t, `
+protocol P begin state A(); message GO; end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE)
+  var x : int;
+  begin
+    if (x = 1) then Drop(); endif;
+  end;
+`+defaultDrop+`end;
+`)
+	ds := rep.ByCheck("unassigned")
+	if len(ds) != 1 || !strings.Contains(ds[0].Msg, "x") {
+		t.Fatalf("unassigned findings = %v, report:\n%s", ds, rep)
+	}
+}
+
+func TestContAllocLint(t *testing.T) {
+	src := `
+protocol P begin
+  state A(); state B(C : CONT) transient;
+  message GO; message OK;
+end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE)
+  var x : int;
+  begin
+    x := 7;
+    Suspend(L, B{L});
+    if (x = 7) then Drop(); endif;
+  end;
+` + defaultDrop + `end;
+state P.B(C : CONT) begin
+  message OK (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Enqueue(); end;
+end;
+`
+	rep := analysis.Analyze(compile(t, src, false))
+	ds := rep.ByCheck("cont-alloc")
+	if len(ds) != 1 {
+		t.Fatalf("cont-alloc findings = %v, report:\n%s", ds, rep)
+	}
+	if ds[0].Severity != source.SevInfo {
+		t.Errorf("cont-alloc severity = %v, want info", ds[0].Severity)
+	}
+	for _, d := range rep.Actionable() {
+		if d.Check == "vet:cont-alloc" {
+			t.Error("cont-alloc must be advisory, found it in Actionable")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"teapot/internal/ir"
+	"teapot/internal/source"
+)
+
+// runCostLint surfaces the paper's Table 1 allocation-count optimization as
+// a diagnostic: a suspend site whose continuation record is heap-allocated
+// (non-empty save set) even though every saved register holds a
+// compile-time constant. Such values can be rematerialized after the
+// resume instead of saved, which would empty the save set and make the
+// record static ("a continuation can be statically allocated and used by
+// all handler invocations", §5). Advisory only — the protocol is correct,
+// just paying an avoidable allocation on a hot fault path.
+func runCostLint(c *Ctx) {
+	for _, site := range c.IR.Sites {
+		if site.Static {
+			continue
+		}
+		fn := site.Func
+		saved := fn.Frags[site.FragIdx].Saved
+		if len(saved) == 0 {
+			continue
+		}
+		remat := 0
+		for _, r := range saved {
+			if constOnlyReg(fn, r) {
+				remat++
+			}
+		}
+		if remat != len(saved) {
+			continue
+		}
+		pos := suspendPos(fn, site)
+		c.Reportf(source.SevInfo, pos,
+			"suspend site %d in %s heap-allocates a continuation saving %d register(s) that only ever hold constants: rematerialize them after the resume to make the record static",
+			site.ID, fn.Name, len(saved))
+	}
+}
+
+// constOnlyReg reports whether every definition of r in fn is a constant
+// load, so its value at any point is a compile-time constant... provided it
+// has exactly one definition (several constant defs could disagree).
+// Unoptimized code routes constants through a temporary (const into a temp,
+// then a Move into the variable slot), so single-def Move chains are
+// followed; the depth bound guards against pathological cycles.
+func constOnlyReg(fn *ir.Func, r ir.Reg) bool {
+	for depth := 0; depth < 8; depth++ {
+		var def *ir.Instr
+		for i := range fn.Code {
+			in := &fn.Code[i]
+			if in.Def() != r {
+				continue
+			}
+			if def != nil {
+				return false // several defs could disagree
+			}
+			def = in
+		}
+		if def == nil {
+			return false
+		}
+		switch def.Op {
+		case ir.OpConst, ir.OpConstStr:
+			return true
+		case ir.OpMove:
+			r = def.A
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// suspendPos finds the OpSuspend instruction that created the site.
+func suspendPos(fn *ir.Func, site *ir.SuspendSite) source.Pos {
+	at := fn.Frags[site.FragIdx].Start - 1
+	if at >= 0 && at < len(fn.Code) && fn.Code[at].Op == ir.OpSuspend {
+		return instrPos(fn, at)
+	}
+	return instrPos(fn, len(fn.Code)-1)
+}

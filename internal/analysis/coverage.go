@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"teapot/internal/source"
+)
+
+// runCoverage checks the (state, message) handler matrix: every pair must
+// be covered by a dedicated handler, a DEFAULT handler, or an explicit
+// queue/nack/drop/error policy. The model checker discovers missing cells
+// one counterexample at a time ("no handler for message M in state S");
+// this pass reports the whole matrix row at once.
+//
+// Only reachable states are reported as errors — an unreachable state's
+// holes are subsumed by vet:unreachable.
+func runCoverage(c *Ctx) {
+	for si, st := range c.Sema.States {
+		var missing []string
+		for mi, m := range c.Sema.Messages {
+			if c.facts.policies[si][mi] == polMissing {
+				missing = append(missing, m.Name)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		sev := source.SevError
+		if !c.facts.reach[si] {
+			sev = source.SevInfo
+		}
+		c.Reportf(sev, c.statePos(st),
+			"state %s has no handler, DEFAULT, or queue/nack/drop policy for %s",
+			st.Name, describeList(missing))
+	}
+}
+
+// describeList renders a message list compactly: all names up to four, then
+// a count.
+func describeList(names []string) string {
+	if len(names) == 1 {
+		return "message " + names[0]
+	}
+	if len(names) <= 4 {
+		return fmt.Sprintf("%d messages (%s)", len(names), strings.Join(names, ", "))
+	}
+	return fmt.Sprintf("%d messages (%s, ...)", len(names), strings.Join(names[:4], ", "))
+}
+
+// runReachability reports states that no static SetState/Suspend path
+// reaches from the configured start states (dead states: either vestigial
+// declarations or a missing transition elsewhere).
+func runReachability(c *Ctx) {
+	for si, st := range c.Sema.States {
+		if c.facts.reach[si] {
+			continue
+		}
+		c.Reportf(source.SevWarning, c.statePos(st),
+			"state %s is unreachable from the start states (%s, %s)",
+			st.Name,
+			c.Sema.States[c.Proto.HomeStart].Name,
+			c.Sema.States[c.Proto.CacheStart].Name)
+	}
+}
+
+// runNoExit reports transient (intermediate/subroutine) states with no
+// outgoing transition and no Resume: a block entering one can never leave,
+// which the model checker reports as a deadlock after exploring every
+// interleaving that reaches the state. Stable states may legitimately be
+// terminal, so only transient states are flagged.
+func runNoExit(c *Ctx) {
+	for si, st := range c.Sema.States {
+		if !st.Transient || !c.facts.reach[si] {
+			continue
+		}
+		if len(c.facts.succ[si]) > 0 || c.facts.hasResume[si] {
+			continue
+		}
+		c.Reportf(source.SevWarning, c.statePos(st),
+			"transient state %s has no outgoing transition or Resume: blocks that enter it never leave",
+			st.Name)
+	}
+}

@@ -1,0 +1,94 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"teapot/internal/analysis"
+	"teapot/internal/core"
+	"teapot/internal/protocols"
+)
+
+// TestBundledProtocols runs the full suite over every bundled protocol,
+// optimized and unoptimized: the shipped protocols must vet clean (no
+// finding at warning level or above), and the seeded-bug Stache variant
+// must produce the defer-deadlock finding that names the state and
+// message behind §7's counterexample.
+func TestBundledProtocols(t *testing.T) {
+	for _, e := range protocols.All() {
+		for _, optimize := range []bool{true, false} {
+			cfg := e.Config
+			cfg.Optimize = optimize
+			rep := analysis.Analyze(core.MustCompile(cfg).Protocol)
+			name := e.Name
+			if !optimize {
+				name += " (unoptimized)"
+			}
+			if e.Buggy {
+				ds := rep.ByCheck("defer-deadlock")
+				if len(ds) != 1 {
+					t.Errorf("%s: defer-deadlock findings = %d, report:\n%s", name, len(ds), rep)
+					continue
+				}
+				for _, want := range []string{"Cache_RO_To_RW", "PUT_NO_DATA_REQ"} {
+					if !strings.Contains(ds[0].Msg, want) {
+						t.Errorf("%s: finding %q lacks %q", name, ds[0].Msg, want)
+					}
+				}
+				continue
+			}
+			if ds := rep.Actionable(); len(ds) != 0 {
+				t.Errorf("%s: want a clean report, got:\n%s", name, rep)
+			}
+		}
+	}
+}
+
+// TestReportDeterministic is the reproducibility property: compiling and
+// vetting the same protocol twice yields byte-identical reports.
+func TestReportDeterministic(t *testing.T) {
+	all := protocols.All()
+	run := func(cfg core.Config) string {
+		return analysis.Analyze(core.MustCompile(cfg).Protocol).String()
+	}
+	property := func(idx uint8) bool {
+		e := all[int(idx)%len(all)]
+		return run(e.Config) == run(e.Config)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReportGolden pins the report line format: file:line:col, severity,
+// message, and bracketed check ID, sorted by position.
+func TestReportGolden(t *testing.T) {
+	const src = `protocol P begin
+  state A();
+  state D();
+  message GO;
+end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Enqueue(); end;
+end;
+state P.D() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+end;
+`
+	a, err := core.Compile(core.Config{
+		Name: "p.tea", Source: src, Optimize: true,
+		HomeStart: "A", CacheStart: "A",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := analysis.Analyze(a.Protocol).String()
+	want := "p.tea:6:1: warning: state A enqueues messages but no handler transitions or resumes: the deferred queue never drains [vet:queue-stuck]\n" +
+		"p.tea:10:1: warning: state D is unreachable from the start states (A, A) [vet:unreachable]\n"
+	if got != want {
+		t.Errorf("report:\n%s\nwant:\n%s", got, want)
+	}
+}

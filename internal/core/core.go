@@ -13,11 +13,18 @@
 //		HomeStart:  "Home_Idle",
 //		CacheStart: "Cache_Inv",
 //	})
+//
+// Vet runs the static protocol analyses over the compiled protocol —
+// cheaper than model checking and able to name the offending state and
+// message directly:
+//
+//	for _, d := range core.Vet(proto.Protocol) { fmt.Println(d) }
 package core
 
 import (
 	"fmt"
 
+	"teapot/internal/analysis"
 	"teapot/internal/ast"
 	"teapot/internal/cont"
 	"teapot/internal/ir"
@@ -25,6 +32,7 @@ import (
 	"teapot/internal/parser"
 	"teapot/internal/runtime"
 	"teapot/internal/sema"
+	"teapot/internal/source"
 )
 
 // Config controls a compilation.
@@ -105,4 +113,13 @@ func MustCompile(cfg Config) *Artifacts {
 		panic(err)
 	}
 	return a
+}
+
+// Vet runs the static protocol analyses (internal/analysis) over a
+// compiled protocol and returns the findings, sorted by position and
+// check ID. An empty slice means the protocol is clean; findings of
+// warning severity or worse indicate likely protocol bugs worth fixing
+// before handing the protocol to the model checker.
+func Vet(p *runtime.Protocol) []source.Diagnostic {
+	return analysis.Analyze(p).Findings
 }

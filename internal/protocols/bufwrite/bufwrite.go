@@ -242,8 +242,26 @@ var Source = func() string {
 		def := strings.LastIndex(src[:at], "  message DEFAULT")
 		src = src[:def] + syncNop + "\n" + src[def:]
 	}
+	// The buffered upgrade no longer suspends into Cache_RO_To_RW, leaving
+	// the state unreachable: drop its declaration and body.
+	src = replace1(src, "  state Cache_RO_To_RW(C : CONT) transient;\n", "")
+	src = dropState(src, "Cache_RO_To_RW")
 	return src + newStates
 }()
+
+// dropState removes a whole state body (header through the column-zero
+// "end;" closing it).
+func dropState(src, state string) string {
+	i := strings.Index(src, "state BufWrite."+state+"(")
+	if i < 0 {
+		panic("bufwrite: state not found: " + state)
+	}
+	j := strings.Index(src[i:], "\nend;\n")
+	if j < 0 {
+		panic("bufwrite: end of state not found: " + state)
+	}
+	return src[:i] + src[i+j+len("\nend;\n"):]
+}
 
 func replace1(src, old, new string) string {
 	out := strings.Replace(src, old, new, 1)

@@ -1,0 +1,66 @@
+// Package protocols registers the bundled protocol sources under the
+// names the command-line drivers accept (teapotc -builtin, teapot-vet),
+// so every tool resolves the same name to the same source text and
+// start-state configuration.
+package protocols
+
+import (
+	"teapot/internal/core"
+	"teapot/internal/protocols/bufwrite"
+	"teapot/internal/protocols/lcm"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/protocols/update"
+)
+
+// Entry is one bundled protocol.
+type Entry struct {
+	// Name is the driver-facing name ("stache", "lcm-update", ...).
+	Name string
+	// Config compiles the protocol (Optimize is on; callers may flip it).
+	Config core.Config
+	// Buggy marks the seeded-bug fixtures: protocols expected to FAIL
+	// verification, shipped as negative test material. Drivers that sweep
+	// "all bundled protocols" skip them unless named explicitly.
+	Buggy bool
+}
+
+// All returns the bundled protocols in a fixed order.
+func All() []Entry {
+	cfg := func(name, src, home string) core.Config {
+		return core.Config{
+			Name: name + ".tea", Source: src, Optimize: true,
+			HomeStart: home, CacheStart: "Cache_Inv",
+		}
+	}
+	return []Entry{
+		{Name: "stache", Config: cfg("stache", stache.Source, "Home_Idle")},
+		{Name: "stache-cas", Config: cfg("stache-cas", stache.CASSource, "Home_Idle")},
+		{Name: "stache-buggy", Config: cfg("stache-buggy", stache.BuggySource, "Home_Idle"), Buggy: true},
+		{Name: "lcm", Config: cfg("lcm", lcm.Source(lcm.Base), "Home_Idle")},
+		{Name: "lcm-update", Config: cfg("lcm-update", lcm.Source(lcm.Update), "Home_Idle")},
+		{Name: "lcm-mcc", Config: cfg("lcm-mcc", lcm.Source(lcm.MCC), "Home_Idle")},
+		{Name: "lcm-both", Config: cfg("lcm-both", lcm.Source(lcm.Both), "Home_Idle")},
+		{Name: "bufwrite", Config: cfg("bufwrite", bufwrite.Source, "Home_Idle")},
+		{Name: "update", Config: cfg("update", update.Source, "Home")},
+	}
+}
+
+// Lookup finds a bundled protocol by name.
+func Lookup(name string) (Entry, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Names lists the registered names in registry order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.Name
+	}
+	return names
+}

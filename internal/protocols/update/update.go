@@ -250,9 +250,8 @@ begin
   end;
 
   message WRITE_REQ (id : ID; var info : INFO; src : NODE)
-  var n : int;
   begin
-    n := SendUpdates(info, src, id);
+    SendUpdates(info, src, id);
     AddSharer(info, src);
     SendData(src, WRITE_ACK, id);
     AccessChange(id, Blk_ReadOnly);
@@ -270,9 +269,8 @@ begin
   -- The home processor writes the master copy and multicasts the new
   -- data; while sharers remain, the next write faults again.
   message WR_RO_FAULT (id : ID; var info : INFO; src : NODE)
-  var n : int;
   begin
-    n := SendUpdates(info, MyNode(), id);
+    SendUpdates(info, MyNode(), id);
     if (NumSharers(info) = 0) then
       AccessChange(id, Blk_ReadWrite);
     endif;

@@ -81,18 +81,50 @@ func (f *File) Line(n int) string {
 	return strings.TrimRight(f.Text[start:end], "\r")
 }
 
-// Diagnostic is a single compiler message.
+// Severity grades a diagnostic. The zero value is SevError so that layers
+// that predate severities (the semantic checker) keep reporting errors.
+type Severity int
+
+// Severities, most severe first.
+const (
+	SevError Severity = iota
+	SevWarning
+	SevInfo
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	case SevInfo:
+		return "info"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Diagnostic is a single compiler message. Analyses additionally tag each
+// diagnostic with a severity and a stable check ID (e.g. "vet:coverage") so
+// reports can be filtered and compared across runs; both are optional and
+// default to an untagged error, which is how the front end reports.
 type Diagnostic struct {
-	File string
-	Pos  Pos
-	Msg  string
+	File     string
+	Pos      Pos
+	Msg      string
+	Check    string   // stable check ID, "" for front-end errors
+	Severity Severity // SevError unless set
 }
 
 func (d Diagnostic) Error() string {
-	if d.File == "" {
-		return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+	tag := ""
+	if d.Check != "" {
+		tag = fmt.Sprintf(" [%s]", d.Check)
 	}
-	return fmt.Sprintf("%s:%s: %s", d.File, d.Pos, d.Msg)
+	if d.File == "" {
+		return fmt.Sprintf("%s: %s%s", d.Pos, d.Msg, tag)
+	}
+	return fmt.Sprintf("%s:%s: %s%s", d.File, d.Pos, d.Msg, tag)
 }
 
 // ErrorList accumulates diagnostics; it implements error when non-empty.
@@ -138,12 +170,27 @@ func (e *ErrorList) Error() string {
 	return b.String()
 }
 
-// Sort orders diagnostics by position.
+// Sort orders diagnostics by file, position, check ID, and finally message,
+// so that multi-error output from any mix of layers (front end, analyses) is
+// byte-identical across runs.
 func (e *ErrorList) Sort() {
-	sort.SliceStable(e.List, func(i, j int) bool {
-		if e.List[i].File != e.List[j].File {
-			return e.List[i].File < e.List[j].File
+	SortDiagnostics(e.List)
+}
+
+// SortDiagnostics orders a diagnostic slice by file, position, check ID,
+// and message (the stable report order shared by all layers).
+func SortDiagnostics(list []Diagnostic) {
+	sort.SliceStable(list, func(i, j int) bool {
+		a, b := list[i], list[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		return e.List[i].Pos.Offset < e.List[j].Pos.Offset
+		if a.Pos.Offset != b.Pos.Offset {
+			return a.Pos.Offset < b.Pos.Offset
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
 	})
 }
