@@ -7,6 +7,8 @@
 package teapot_test
 
 import (
+	"fmt"
+	goruntime "runtime"
 	"testing"
 
 	"teapot/internal/bench"
@@ -164,19 +166,33 @@ func BenchmarkTable2Unstruct(b *testing.B) {
 
 // --- Table 3: verification times ---
 
+// benchVerify runs the checker at workers=1 and workers=GOMAXPROCS as
+// sub-benchmarks, so the committed baseline captures both the serial cost
+// and the parallel layer expansion.
 func benchVerify(b *testing.B, cfg func() mc.Config) {
-	var states int
-	for i := 0; i < b.N; i++ {
-		res, err := mc.Check(cfg())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Violation != nil {
-			b.Fatalf("violation: %s", res.Violation)
-		}
-		states = res.States
+	counts := []int{1}
+	if n := goruntime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
 	}
-	b.ReportMetric(float64(states), "states")
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *mc.Result
+			for i := 0; i < b.N; i++ {
+				c := cfg()
+				c.Workers = workers
+				var err error
+				res, err = mc.Check(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Violation != nil {
+					b.Fatalf("violation: %s", res.Violation)
+				}
+			}
+			b.ReportMetric(float64(res.States), "states")
+			b.ReportMetric(float64(res.States)/b.Elapsed().Seconds()*float64(b.N), "states/sec")
+		})
+	}
 }
 
 func BenchmarkTable3Stache(b *testing.B) {
@@ -222,6 +238,46 @@ func BenchmarkTable3LCMMCC(b *testing.B) {
 			Nodes: 2, Blocks: 1, Reorder: 1,
 			Events: lcm.NewEvents(a.Protocol)}
 	})
+}
+
+// BenchmarkMCEncodeDecode measures the canonical snapshot round trip —
+// the seed checker's per-action cost for every enabled action.
+func BenchmarkMCEncodeDecode(b *testing.B) {
+	a := stache.MustCompile(true)
+	cfg := mc.Config{Proto: a.Protocol, Support: stache.MustSupport(a.Protocol),
+		Nodes: 2, Blocks: 2,
+		Events: stache.NewEvents(a.Protocol), CheckCoherence: true}
+	w := mc.InitialWorld(&cfg)
+	key, err := w.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw, err := cfg.Restore(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rw.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCClone measures the structural clone that replaced the decode
+// on the checker's successor path.
+func BenchmarkMCClone(b *testing.B) {
+	a := stache.MustCompile(true)
+	cfg := mc.Config{Proto: a.Protocol, Support: stache.MustSupport(a.Protocol),
+		Nodes: 2, Blocks: 2,
+		Events: stache.NewEvents(a.Protocol), CheckCoherence: true}
+	w := mc.InitialWorld(&cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Clone(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkTable3BugHunt measures finding the seeded §7 deadlock.

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"teapot/internal/bench"
 )
@@ -26,6 +28,8 @@ func main() {
 		bug     = flag.Bool("bug", false, "run the seeded-bug hunt (§7)")
 		nodes   = flag.Int("nodes", 32, "machine size for Tables 1-2")
 		iters   = flag.Int("iters", 4, "workload iterations for Tables 1-2")
+		workers = flag.Int("workers", 0, "model-checker workers for Table 3 (0 = GOMAXPROCS)")
+		mcOut   = flag.String("mc-out", "BENCH_mc.json", "checker-throughput baseline written with -table 3 (\"\" = skip)")
 	)
 	flag.Parse()
 
@@ -44,10 +48,22 @@ func main() {
 		fmt.Println()
 	}
 	if *table == 3 || !specific {
-		rows, err := bench.Table3()
+		rows, err := bench.Table3(*workers)
 		check(err)
 		fmt.Print(bench.FormatVerify(rows))
 		fmt.Println()
+		if *table == 3 && *mcOut != "" {
+			counts := []int{1}
+			if n := runtime.GOMAXPROCS(0); n > 1 {
+				counts = append(counts, n)
+			}
+			mcRows, err := bench.MCBench(counts)
+			check(err)
+			data, err := json.MarshalIndent(mcRows, "", "  ")
+			check(err)
+			check(os.WriteFile(*mcOut, append(data, '\n'), 0o644))
+			fmt.Printf("checker throughput baseline written to %s (workers %v)\n\n", *mcOut, counts)
+		}
 	}
 	if *figures || !specific {
 		for _, f := range bench.Figures() {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"teapot/internal/mc"
 	"teapot/internal/protocols/bufwrite"
@@ -27,6 +28,9 @@ func main() {
 		blocks   = flag.Int("blocks", 1, "number of shared blocks")
 		reorder  = flag.Int("reorder", 1, "network reordering bound")
 		maxState = flag.Int("max-states", 0, "abort after exploring this many states (0 = unlimited)")
+		workers  = flag.Int("workers", 0, "BFS worker goroutines (0 = GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 
@@ -36,14 +40,46 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.MaxStates = *maxState
+	cfg.Workers = *workers
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "teapot-verify:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "teapot-verify:", err)
+			os.Exit(1)
+		}
+	}
 
 	res, err := mc.Check(cfg)
+	if *cpuProf != "" {
+		// Stopped explicitly: the violation path exits with a nonzero
+		// status, which would skip a deferred stop.
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "teapot-verify:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("protocol %s: %d states, %d transitions, depth %d, %s\n",
-		*protocol, res.States, res.Transitions, res.MaxDepth, res.Elapsed)
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "teapot-verify:", err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "teapot-verify:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	fmt.Printf("protocol %s: %d states, %d transitions, depth %d, %d workers, %s\n",
+		*protocol, res.States, res.Transitions, res.MaxDepth, res.Workers, res.Elapsed)
 	if res.Violation == nil {
 		fmt.Println("verified: no deadlock, no unexpected messages, coherence holds")
 		return

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"strings"
 	"time"
 
@@ -151,40 +152,30 @@ func Table2(nodes, iters int) ([]PerfRow, error) {
 
 // VerifyRow is one line of Table 3.
 type VerifyRow struct {
-	Protocol    string
-	Nodes       int
-	Blocks      int
-	Reorder     int
-	States      int
-	Transitions int
-	Depth       int
-	Elapsed     time.Duration
-	Violation   string
+	Protocol     string
+	Nodes        int
+	Blocks       int
+	Reorder      int
+	Workers      int
+	States       int
+	Transitions  int
+	Depth        int
+	Elapsed      time.Duration
+	VisitedBytes int64
+	Violation    string
 }
 
-// Table3 regenerates Table 3: verification of Stache, Buffered-write, LCM
+// namedConfig is one Table 3 machine configuration.
+type namedConfig struct {
+	name string
+	cfg  mc.Config
+}
+
+// table3Configs builds the Table 3 machines: Stache, Buffered-write, LCM
 // simple, and LCM MCC at the paper's configurations (2 nodes, 1 address,
 // bounded reordering) plus the larger configurations the paper could not
-// complete.
-func Table3() ([]VerifyRow, error) {
-	var rows []VerifyRow
-	add := func(name string, cfg mc.Config) error {
-		res, err := mc.Check(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		row := VerifyRow{
-			Protocol: name, Nodes: cfg.Nodes, Blocks: cfg.Blocks, Reorder: cfg.Reorder,
-			States: res.States, Transitions: res.Transitions, Depth: res.MaxDepth,
-			Elapsed: res.Elapsed,
-		}
-		if res.Violation != nil {
-			row.Violation = res.Violation.Kind + ": " + res.Violation.Msg
-		}
-		rows = append(rows, row)
-		return nil
-	}
-
+// complete, and the write-update protocol beyond the paper.
+func table3Configs() []namedConfig {
 	st := stache.MustCompile(true)
 	stCfg := func(nodes, blocks, reorder int) mc.Config {
 		return mc.Config{
@@ -193,21 +184,17 @@ func Table3() ([]VerifyRow, error) {
 			Events: stache.NewEvents(st.Protocol), CheckCoherence: true,
 		}
 	}
-	if err := add("Stache", stCfg(2, 1, 1)); err != nil {
-		return nil, err
-	}
-	if err := add("Stache (2 addresses)", stCfg(2, 2, 0)); err != nil {
-		return nil, err
+	configs := []namedConfig{
+		{"Stache", stCfg(2, 1, 1)},
+		{"Stache (2 addresses)", stCfg(2, 2, 0)},
 	}
 
 	bw := bufwrite.MustCompile(true)
-	if err := add("Buffered-Write", mc.Config{
+	configs = append(configs, namedConfig{"Buffered-Write", mc.Config{
 		Proto: bw.Protocol, Support: bufwrite.MustSupport(bw.Protocol),
 		Nodes: 2, Blocks: 1, Reorder: 1,
 		Events: bufwrite.NewEvents(bw.Protocol), CheckCoherence: true,
-	}); err != nil {
-		return nil, err
-	}
+	}})
 
 	for _, v := range []lcm.Variant{lcm.Base, lcm.MCC} {
 		a := lcm.MustCompile(v, true)
@@ -215,23 +202,86 @@ func Table3() ([]VerifyRow, error) {
 		if v == lcm.MCC {
 			name = "LCM MCC"
 		}
-		if err := add(name, mc.Config{
+		configs = append(configs, namedConfig{name, mc.Config{
 			Proto: a.Protocol, Support: lcm.MustSupport(a.Protocol, 2),
 			Nodes: 2, Blocks: 1, Reorder: 1,
 			Events: lcm.NewEvents(a.Protocol), CheckCoherence: false,
-		}); err != nil {
-			return nil, err
-		}
+		}})
 	}
 
-	// Beyond the paper: the write-update protocol.
 	up := update.MustCompile(true)
-	if err := add("Update (extra)", mc.Config{
+	configs = append(configs, namedConfig{"Update (extra)", mc.Config{
 		Proto: up.Protocol, Support: update.MustSupport(up.Protocol),
 		Nodes: 2, Blocks: 1, Reorder: 1,
 		Events: update.NewEvents(up.Protocol), CheckCoherence: true,
-	}); err != nil {
-		return nil, err
+	}})
+	return configs
+}
+
+// Table3 regenerates Table 3 with the given checker worker count
+// (0 = GOMAXPROCS).
+func Table3(workers int) ([]VerifyRow, error) {
+	var rows []VerifyRow
+	for _, nc := range table3Configs() {
+		nc.cfg.Workers = workers
+		res, err := mc.Check(nc.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", nc.name, err)
+		}
+		row := VerifyRow{
+			Protocol: nc.name, Nodes: nc.cfg.Nodes, Blocks: nc.cfg.Blocks,
+			Reorder: nc.cfg.Reorder, Workers: res.Workers,
+			States: res.States, Transitions: res.Transitions, Depth: res.MaxDepth,
+			Elapsed: res.Elapsed, VisitedBytes: res.VisitedBytes,
+		}
+		if res.Violation != nil {
+			row.Violation = res.Violation.Kind + ": " + res.Violation.Msg
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MCRow is one BENCH_mc.json record: the model checker's throughput on one
+// Table 3 machine at one worker count.
+type MCRow struct {
+	Protocol          string  `json:"protocol"`
+	Workers           int     `json:"workers"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	States            int     `json:"states"`
+	Transitions       int     `json:"transitions"`
+	WallMS            float64 `json:"wall_ms"`
+	StatesPerSec      float64 `json:"states_per_sec"`
+	VisitedBytesState float64 `json:"visited_bytes_per_state"`
+}
+
+// MCBench measures checker throughput on every Table 3 machine at each
+// worker count (typically 1 and GOMAXPROCS), for the committed
+// BENCH_mc.json baseline.
+func MCBench(workerCounts []int) ([]MCRow, error) {
+	var rows []MCRow
+	for _, workers := range workerCounts {
+		for _, nc := range table3Configs() {
+			nc.cfg.Workers = workers
+			res, err := mc.Check(nc.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", nc.name, err)
+			}
+			row := MCRow{
+				Protocol: nc.name, Workers: res.Workers,
+				GOMAXPROCS:  goruntime.GOMAXPROCS(0),
+				States:      res.States,
+				Transitions: res.Transitions,
+				WallMS:      float64(res.Elapsed) / float64(time.Millisecond),
+			}
+			if secs := res.Elapsed.Seconds(); secs > 0 {
+				row.StatesPerSec = float64(res.States) / secs
+			}
+			if res.States > 0 {
+				row.VisitedBytesState = float64(res.VisitedBytes) / float64(res.States)
+			}
+			rows = append(rows, row)
+		}
 	}
 	return rows, nil
 }
@@ -253,8 +303,8 @@ func ReorderSweep() ([]VerifyRow, error) {
 		}
 		row := VerifyRow{
 			Protocol: "Stache", Nodes: 2, Blocks: 1, Reorder: reorder,
-			States: res.States, Transitions: res.Transitions,
-			Depth: res.MaxDepth, Elapsed: res.Elapsed,
+			Workers: res.Workers, States: res.States, Transitions: res.Transitions,
+			Depth: res.MaxDepth, Elapsed: res.Elapsed, VisitedBytes: res.VisitedBytes,
 		}
 		if res.Violation != nil {
 			row.Violation = res.Violation.Kind + ": " + res.Violation.Msg
@@ -383,16 +433,21 @@ func FormatPerf(title string, rows []PerfRow) string {
 func FormatVerify(rows []VerifyRow) string {
 	var b strings.Builder
 	b.WriteString("Table 3: Protocol verification\n")
-	fmt.Fprintf(&b, "%-22s %8s %8s %8s %10s %12s %8s %10s %s\n",
-		"Protocol", "Nodes", "Blocks", "Reorder", "States", "Transitions", "Depth", "Time", "Result")
+	fmt.Fprintf(&b, "%-22s %8s %8s %8s %8s %10s %12s %8s %10s %10s %s\n",
+		"Protocol", "Nodes", "Blocks", "Reorder", "Workers", "States",
+		"Transitions", "Depth", "Time", "Bytes/st", "Result")
 	for _, r := range rows {
 		result := "verified"
 		if r.Violation != "" {
 			result = r.Violation
 		}
-		fmt.Fprintf(&b, "%-22s %8d %8d %8d %10d %12d %8d %10s %s\n",
-			r.Protocol, r.Nodes, r.Blocks, r.Reorder, r.States, r.Transitions,
-			r.Depth, r.Elapsed.Round(time.Millisecond), result)
+		bytesPer := "-"
+		if r.States > 0 && r.VisitedBytes > 0 {
+			bytesPer = fmt.Sprintf("%.0f", float64(r.VisitedBytes)/float64(r.States))
+		}
+		fmt.Fprintf(&b, "%-22s %8d %8d %8d %8d %10d %12d %8d %10s %10s %s\n",
+			r.Protocol, r.Nodes, r.Blocks, r.Reorder, r.Workers, r.States,
+			r.Transitions, r.Depth, r.Elapsed.Round(time.Millisecond), bytesPer, result)
 	}
 	return b.String()
 }

@@ -47,7 +47,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3AllVerified(t *testing.T) {
-	rows, err := bench.Table3()
+	rows, err := bench.Table3(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,8 +61,32 @@ func TestTable3AllVerified(t *testing.T) {
 		if r.States == 0 {
 			t.Errorf("%s: no states explored", r.Protocol)
 		}
+		if r.Workers < 1 {
+			t.Errorf("%s: workers = %d", r.Protocol, r.Workers)
+		}
+		if r.VisitedBytes <= 0 {
+			t.Errorf("%s: visited bytes = %d", r.Protocol, r.VisitedBytes)
+		}
 	}
 	t.Logf("\n%s", bench.FormatVerify(rows))
+}
+
+func TestMCBenchRows(t *testing.T) {
+	rows, err := bench.MCBench([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Workers != 1 {
+			t.Errorf("%s: workers = %d, want 1", r.Protocol, r.Workers)
+		}
+		if r.States == 0 || r.StatesPerSec <= 0 || r.VisitedBytesState <= 0 {
+			t.Errorf("%s: degenerate throughput row: %+v", r.Protocol, r)
+		}
+	}
 }
 
 func TestBugHunt(t *testing.T) {

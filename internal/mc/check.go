@@ -1,0 +1,244 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Check runs the breadth-first exploration.
+//
+// The search is layer-synchronous: all states at depth d are expanded —
+// concurrently, by cfg.Workers goroutines — before any state at depth d+1,
+// which preserves the BFS invariant (counterexample traces are
+// shortest-path) and makes every reported figure deterministic. Expanding a
+// state decodes its canonical encoding exactly once; each successor is a
+// structural clone plus one action (the final action is applied to the
+// decoded world in place), never a re-decode. Violations found while a
+// layer expands are collected, the layer is finished, and the one the
+// sequential scan would have hit first — smallest (frontier position,
+// action ordinal) — is reported, with its trace re-derived by replaying the
+// compact parent chain from the initial state. States, Transitions,
+// MaxDepth, the violation kind, and the trace are identical for any worker
+// count.
+func Check(cfg Config) (*Result, error) {
+	cfg.normalize()
+	start := time.Now()
+	res := &Result{Workers: cfg.Workers}
+
+	init := newWorld(&cfg)
+	initKey, err := init.encode()
+	if err != nil {
+		return nil, err
+	}
+	vt := newVisited()
+	layer := []int32{vt.addRoot(initKey)}
+
+	for depth := 0; len(layer) > 0; depth++ {
+		res.MaxDepth = depth
+		out, err := expandLayer(&cfg, vt, layer)
+		if err != nil {
+			return nil, err
+		}
+		res.Transitions += int(out.transitions)
+		res.Decodes += out.decodes
+		next := vt.commit(layer)
+		if out.cand != nil {
+			v, err := buildViolation(&cfg, vt, layer, out.cand)
+			if err != nil {
+				return nil, err
+			}
+			res.Violation = v
+			break
+		}
+		layer = next
+		if cfg.MaxStates > 0 && len(vt.arena) >= cfg.MaxStates {
+			res.Violation = &Violation{Kind: "state-limit",
+				Msg: fmt.Sprintf("exploration stopped at %d states", len(vt.arena))}
+			break
+		}
+	}
+
+	res.States = len(vt.arena)
+	res.VisitedBytes = vt.bytes()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// candidate is a violation observed during layer expansion, positioned so
+// the deterministic minimum can be selected at the barrier.
+type candidate struct {
+	kind string
+	msg  string
+	pos  int32 // position of the expanded state within its layer
+	ord  int32 // ordinal of the violating action, -1 for deadlock
+}
+
+func (c *candidate) before(o *candidate) bool {
+	if c.pos != o.pos {
+		return c.pos < o.pos
+	}
+	return c.ord < o.ord
+}
+
+// workerOut accumulates one worker's per-layer results; outputs are merged
+// at the barrier so workers share nothing while expanding.
+type workerOut struct {
+	cand        *candidate
+	transitions int64
+	decodes     int64
+	err         error
+}
+
+func (o *workerOut) take(c *candidate) {
+	if o.cand == nil || c.before(o.cand) {
+		o.cand = c
+	}
+}
+
+// expandLayer expands every state of the layer, fanning out over
+// cfg.Workers goroutines pulling positions from a shared cursor.
+func expandLayer(cfg *Config, vt *visitedTable, layer []int32) (*workerOut, error) {
+	workers := cfg.Workers
+	if workers > len(layer) {
+		workers = len(layer)
+	}
+
+	merged := &workerOut{}
+	if workers <= 1 {
+		for pos := range layer {
+			if err := expandState(cfg, vt, layer, int32(pos), merged); err != nil {
+				return nil, err
+			}
+		}
+		return merged, nil
+	}
+
+	outs := make([]workerOut, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(out *workerOut) {
+			defer wg.Done()
+			for {
+				pos := cursor.Add(1) - 1
+				if pos >= int64(len(layer)) {
+					return
+				}
+				if err := expandState(cfg, vt, layer, int32(pos), out); err != nil {
+					out.err = err
+					return
+				}
+			}
+		}(&outs[i])
+	}
+	wg.Wait()
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			return nil, o.err
+		}
+		merged.transitions += o.transitions
+		merged.decodes += o.decodes
+		if o.cand != nil {
+			merged.take(o.cand)
+		}
+	}
+	return merged, nil
+}
+
+// expandState decodes one state (once), enumerates its actions, and claims
+// every successor, deriving each from a clone of the decoded world — the
+// last from the decoded world itself.
+func expandState(cfg *Config, vt *visitedTable, layer []int32, pos int32, out *workerOut) error {
+	w, err := cfg.decode(vt.arena[layer[pos]].key)
+	if err != nil {
+		return fmt.Errorf("mc: decode: %w", err)
+	}
+	out.decodes++
+	acts := w.actions()
+	if len(acts) == 0 {
+		if w.anyStalled() && w.networkEmpty() {
+			out.take(&candidate{kind: "deadlock", msg: describeStall(w), pos: pos, ord: -1})
+		}
+		return nil
+	}
+	for i, a := range acts {
+		wa := w
+		if i < len(acts)-1 {
+			if wa, err = w.clone(); err != nil {
+				return fmt.Errorf("mc: clone: %w", err)
+			}
+		}
+		out.transitions++
+		if err := wa.apply(a); err != nil {
+			out.take(&candidate{kind: "protocol-error", msg: err.Error(), pos: pos, ord: int32(i)})
+			continue
+		}
+		if msg := wa.checkInvariants(); msg != "" {
+			out.take(&candidate{kind: "invariant", msg: msg, pos: pos, ord: int32(i)})
+			continue
+		}
+		succ, err := wa.encode()
+		if err != nil {
+			return fmt.Errorf("mc: encode: %w", err)
+		}
+		vt.claim(succ, pos, int32(i))
+	}
+	return nil
+}
+
+// buildViolation re-derives the counterexample trace for the selected
+// candidate by replaying the parent chain's action ordinals from the
+// initial state. Descriptions are rendered against the pre-action world,
+// exactly as the transitions were originally taken.
+func buildViolation(cfg *Config, vt *visitedTable, layer []int32, c *candidate) (*Violation, error) {
+	var ords []int32
+	for idx := layer[c.pos]; idx >= 0; {
+		rec := &vt.arena[idx]
+		if rec.action >= 0 {
+			ords = append(ords, rec.action)
+		}
+		idx = rec.parent
+	}
+	for i, j := 0, len(ords)-1; i < j; i, j = i+1, j-1 {
+		ords[i], ords[j] = ords[j], ords[i]
+	}
+	if c.ord >= 0 {
+		ords = append(ords, c.ord)
+	}
+
+	w := newWorld(cfg)
+	steps := make([]string, 0, len(ords))
+	for n, ord := range ords {
+		acts := w.actions()
+		if int(ord) >= len(acts) {
+			return nil, fmt.Errorf("mc: trace replay diverged at step %d", n)
+		}
+		a := acts[ord]
+		steps = append(steps, w.describe(a))
+		if n == len(ords)-1 && c.ord >= 0 {
+			break // the final action is the violation itself
+		}
+		if err := w.apply(a); err != nil {
+			return nil, fmt.Errorf("mc: trace replay diverged at step %d: %w", n, err)
+		}
+	}
+	return &Violation{Kind: c.kind, Msg: c.msg, Trace: steps}, nil
+}
+
+func describeStall(w *World) string {
+	var stuck []string
+	for n, b := range w.stalled {
+		if b >= 0 {
+			stuck = append(stuck, fmt.Sprintf("node %d stalled on block %d (state %s)",
+				n, b, w.StateName(n, b)))
+		}
+	}
+	sort.Strings(stuck)
+	return "network empty, " + strings.Join(stuck, "; ")
+}

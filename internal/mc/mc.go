@@ -20,7 +20,7 @@ package mc
 
 import (
 	"fmt"
-	"sort"
+	goruntime "runtime"
 	"strings"
 	"time"
 
@@ -50,12 +50,37 @@ type Config struct {
 	ChannelCap int // default 12
 	QueueCap   int // default 8
 
+	// Workers is the number of goroutines expanding each BFS layer
+	// (0 = GOMAXPROCS). Results are identical for any worker count; see
+	// Check. With Workers > 1, Support and Events implementations must be
+	// safe for concurrent use (the bundled protocol modules are).
+	Workers int
+
 	CheckCoherence bool
+}
+
+// normalize fills configuration defaults in place.
+func (cfg *Config) normalize() {
+	if cfg.HomeOf == nil {
+		nodes := cfg.Nodes
+		cfg.HomeOf = func(id int) int { return id % nodes }
+	}
+	if cfg.ChannelCap == 0 {
+		cfg.ChannelCap = 12
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 8
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = goruntime.GOMAXPROCS(0)
+	}
 }
 
 // EventGen enumerates the protocol events a processor may spontaneously
 // issue in a given global state (the paper's hand-written "event generation
-// loop", §7).
+// loop", §7). When Config.Workers > 1 the checker calls Enabled from
+// multiple goroutines (on distinct worlds), so implementations must not
+// mutate shared state without synchronization.
 type EventGen interface {
 	Enabled(w *World, node, block int) []Event
 }
@@ -68,13 +93,22 @@ type Event struct {
 	Payload []vm.Value
 }
 
-// Result summarizes a run.
+// Result summarizes a run. Every figure except Elapsed is deterministic:
+// identical for any Workers setting and across repeated runs.
 type Result struct {
 	States      int
 	Transitions int
 	MaxDepth    int
 	Violation   *Violation
 	Elapsed     time.Duration
+
+	// Workers is the worker count the run actually used.
+	Workers int
+	// Decodes counts full state decodes — exactly one per expanded state
+	// (successors are derived by cloning, not re-decoding).
+	Decodes int64
+	// VisitedBytes approximates the retained size of the visited set.
+	VisitedBytes int64
 }
 
 // Violation describes a found bug with its event trace from the initial
@@ -393,136 +427,59 @@ func (w *World) networkEmpty() bool {
 	return true
 }
 
-type parentInfo struct {
-	parent string
-	action string
-	depth  int
-}
-
-// Check runs the breadth-first exploration.
-func Check(cfg Config) (*Result, error) {
-	if cfg.HomeOf == nil {
-		nodes := cfg.Nodes
-		cfg.HomeOf = func(id int) int { return id % nodes }
+// clone returns a deep copy of the world that can be mutated independently.
+// Immutable structure (messages, state values, continuation records) is
+// shared; mutable containers are copied with exact capacity so appends on
+// either side reallocate instead of aliasing.
+func (w *World) clone() (*World, error) {
+	nw := &World{
+		cfg:     w.cfg,
+		access:  append([]sema.AccessMode(nil), w.access...),
+		stalled: append([]int(nil), w.stalled...),
 	}
-	if cfg.ChannelCap == 0 {
-		cfg.ChannelCap = 12
-	}
-	if cfg.QueueCap == 0 {
-		cfg.QueueCap = 8
-	}
-	start := time.Now()
-	res := &Result{}
-
-	init := newWorld(&cfg)
-	initKey, err := init.encode()
-	if err != nil {
-		return nil, err
-	}
-	visited := map[string]parentInfo{initKey: {depth: 0}}
-	frontier := []string{initKey}
-
-	trace := func(key string, extra string) []string {
-		var steps []string
-		for key != "" {
-			pi := visited[key]
-			if pi.action != "" {
-				steps = append(steps, pi.action)
-			}
-			key = pi.parent
-		}
-		// reverse
-		for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
-			steps[i], steps[j] = steps[j], steps[i]
-		}
-		if extra != "" {
-			steps = append(steps, extra)
-		}
-		return steps
-	}
-
-	for len(frontier) > 0 {
-		key := frontier[0]
-		frontier = frontier[1:]
-		depth := visited[key].depth
-		if depth > res.MaxDepth {
-			res.MaxDepth = depth
-		}
-
-		w, err := cfg.decode(key)
+	nw.engines = make([]*runtime.Engine, len(w.engines))
+	for i, e := range w.engines {
+		ne, err := e.Clone(nw, w.cfg.Codec)
 		if err != nil {
-			return nil, fmt.Errorf("mc: decode: %w", err)
+			return nil, err
 		}
-		acts := w.actions()
-		if len(acts) == 0 && w.anyStalled() && w.networkEmpty() {
-			res.Violation = &Violation{
-				Kind:  "deadlock",
-				Msg:   describeStall(w),
-				Trace: trace(key, ""),
-			}
-			break
-		}
-		for _, a := range acts {
-			wa, err := cfg.decode(key)
-			if err != nil {
-				return nil, fmt.Errorf("mc: decode: %w", err)
-			}
-			desc := wa.describe(a)
-			res.Transitions++
-			if err := wa.apply(a); err != nil {
-				res.Violation = &Violation{
-					Kind:  "protocol-error",
-					Msg:   err.Error(),
-					Trace: trace(key, desc),
-				}
-				res.States = len(visited)
-				res.Elapsed = time.Since(start)
-				return res, nil
-			}
-			if msg := wa.checkInvariants(); msg != "" {
-				res.Violation = &Violation{
-					Kind:  "invariant",
-					Msg:   msg,
-					Trace: trace(key, desc),
-				}
-				res.States = len(visited)
-				res.Elapsed = time.Since(start)
-				return res, nil
-			}
-			succ, err := wa.encode()
-			if err != nil {
-				return nil, fmt.Errorf("mc: encode: %w", err)
-			}
-			if _, seen := visited[succ]; !seen {
-				visited[succ] = parentInfo{parent: key, action: desc, depth: depth + 1}
-				frontier = append(frontier, succ)
-				if cfg.MaxStates > 0 && len(visited) >= cfg.MaxStates {
-					res.States = len(visited)
-					res.Elapsed = time.Since(start)
-					res.Violation = &Violation{Kind: "state-limit",
-						Msg: fmt.Sprintf("exploration stopped at %d states", len(visited))}
-					return res, nil
-				}
-			}
-		}
-		if res.Violation != nil {
-			break
-		}
+		nw.engines[i] = ne
 	}
-
-	res.States = len(visited)
-	res.Elapsed = time.Since(start)
-	return res, nil
+	nw.channels = make([][]*runtime.Message, len(w.channels))
+	for ch, msgs := range w.channels {
+		if len(msgs) == 0 {
+			continue
+		}
+		eng := nw.engines[ch%w.cfg.Nodes]
+		dst := make([]*runtime.Message, len(msgs))
+		for i, m := range msgs {
+			cm, err := eng.CloneMessage(m, w.cfg.Codec)
+			if err != nil {
+				return nil, err
+			}
+			dst[i] = cm
+		}
+		nw.channels[ch] = dst
+	}
+	return nw, nil
 }
 
-func describeStall(w *World) string {
-	var stuck []string
-	for n, b := range w.stalled {
-		if b >= 0 {
-			stuck = append(stuck, fmt.Sprintf("node %d stalled on block %d (state %s)",
-				n, b, w.StateName(n, b)))
-		}
-	}
-	sort.Strings(stuck)
-	return "network empty, " + strings.Join(stuck, "; ")
+// InitialWorld builds the machine's initial state (exported for benchmarks
+// and tooling; Check builds its own). cfg defaults are filled in place.
+func InitialWorld(cfg *Config) *World {
+	cfg.normalize()
+	return newWorld(cfg)
 }
+
+// Snapshot returns the world's canonical encoding — the visited-set key.
+func (w *World) Snapshot() (string, error) { return w.encode() }
+
+// Restore materializes a world from a Snapshot encoding.
+func (cfg *Config) Restore(key string) (*World, error) {
+	cfg.normalize()
+	return cfg.decode(key)
+}
+
+// Clone returns a deep copy of the world (see the checker's
+// clone-not-decode successor generation).
+func (w *World) Clone() (*World, error) { return w.clone() }

@@ -1,0 +1,173 @@
+package mc_test
+
+import (
+	"testing"
+
+	"teapot/internal/mc"
+	"teapot/internal/protocols/lcm"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/protocols/update"
+)
+
+// equivalenceConfigs are the machines the worker-equivalence contract is
+// checked on: clean protocols and the seeded-bug Stache variant (whose run
+// ends in a violation, exercising the deterministic candidate selection
+// and trace replay).
+func equivalenceConfigs(t *testing.T) map[string]func() mc.Config {
+	t.Helper()
+	return map[string]func() mc.Config{
+		"stache": func() mc.Config { return stacheConfig(t, 2, 1, 1) },
+		"stache-buggy": func() mc.Config {
+			p, err := stache.CompileBuggy()
+			if err != nil {
+				t.Fatalf("compile buggy: %v", err)
+			}
+			return mc.Config{
+				Proto: p, Support: stache.MustSupport(p),
+				Nodes: 2, Blocks: 1,
+				Events: stache.NewEvents(p), CheckCoherence: true,
+			}
+		},
+		"bufwrite": func() mc.Config { return bufwriteConfig(t, 2, 1, 1) },
+		"update": func() mc.Config {
+			a := update.MustCompile(true)
+			return mc.Config{
+				Proto: a.Protocol, Support: update.MustSupport(a.Protocol),
+				Nodes: 2, Blocks: 1, Reorder: 1,
+				Events: update.NewEvents(a.Protocol), CheckCoherence: true,
+			}
+		},
+		"lcm": func() mc.Config { return lcmConfig(t, lcm.Base, 2, 1, 0) },
+	}
+}
+
+// TestWorkerEquivalence is the determinism contract of the parallel
+// checker: States, Transitions, MaxDepth, the violation kind, and the
+// counterexample trace length must be identical for any worker count.
+func TestWorkerEquivalence(t *testing.T) {
+	for name, mk := range equivalenceConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			var base *mc.Result
+			for _, workers := range []int{1, 2, 8} {
+				cfg := mk()
+				cfg.Workers = workers
+				res, err := mc.Check(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if res.Workers != workers {
+					t.Errorf("res.Workers = %d, want %d", res.Workers, workers)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if res.States != base.States || res.Transitions != base.Transitions ||
+					res.MaxDepth != base.MaxDepth {
+					t.Errorf("workers=%d: (states,transitions,depth) = (%d,%d,%d), want (%d,%d,%d)",
+						workers, res.States, res.Transitions, res.MaxDepth,
+						base.States, base.Transitions, base.MaxDepth)
+				}
+				switch {
+				case (res.Violation == nil) != (base.Violation == nil):
+					t.Errorf("workers=%d: violation presence differs", workers)
+				case res.Violation != nil:
+					if res.Violation.Kind != base.Violation.Kind {
+						t.Errorf("workers=%d: violation kind %q, want %q",
+							workers, res.Violation.Kind, base.Violation.Kind)
+					}
+					if len(res.Violation.Trace) != len(base.Violation.Trace) {
+						t.Errorf("workers=%d: trace length %d, want %d",
+							workers, len(res.Violation.Trace), len(base.Violation.Trace))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecodesPerState asserts the clone-not-decode contract: a clean run
+// decodes every visited state exactly once (the seed checker decoded once
+// per enabled action on top of once per state).
+func TestDecodesPerState(t *testing.T) {
+	res, err := mc.Check(stacheConfig(t, 2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+	if res.Decodes != int64(res.States) {
+		t.Errorf("decodes = %d, want exactly one per state (%d)", res.Decodes, res.States)
+	}
+}
+
+// TestSnapshotRestoreCloneRoundTrip pins the exported snapshot API: a
+// restored or cloned world re-encodes to the identical canonical key.
+func TestSnapshotRestoreCloneRoundTrip(t *testing.T) {
+	cfg := stacheConfig(t, 2, 2, 1)
+	w := mc.InitialWorld(&cfg)
+	key, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := cfg.Restore(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rkey, err := rw.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rkey != key {
+		t.Error("restore round-trip changed the canonical encoding")
+	}
+	cw, err := rw.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckey, err := cw.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckey != key {
+		t.Error("clone changed the canonical encoding")
+	}
+}
+
+// TestBuggyTraceIdenticalAcrossWorkers goes beyond trace length: the
+// seeded-bug counterexample must be step-for-step identical for 1 and 8
+// workers (the deterministic min-claim merge makes even the chosen parent
+// chain worker-count independent).
+func TestBuggyTraceIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) *mc.Result {
+		p, err := stache.CompileBuggy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mc.Check(mc.Config{
+			Proto: p, Support: stache.MustSupport(p),
+			Nodes: 2, Blocks: 1,
+			Events: stache.NewEvents(p), CheckCoherence: true,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation == nil {
+			t.Fatal("seeded bug not found")
+		}
+		return res
+	}
+	r1, r8 := run(1), run(8)
+	if len(r1.Violation.Trace) != len(r8.Violation.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d",
+			len(r1.Violation.Trace), len(r8.Violation.Trace))
+	}
+	for i := range r1.Violation.Trace {
+		if r1.Violation.Trace[i] != r8.Violation.Trace[i] {
+			t.Errorf("trace step %d differs:\n  w1: %s\n  w8: %s",
+				i, r1.Violation.Trace[i], r8.Violation.Trace[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package mc_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"teapot/internal/core"
@@ -12,8 +13,11 @@ import (
 )
 
 // recordingGen wraps the Stache generator and inspects the World accessors.
+// The checker calls Enabled concurrently, so the recording is locked.
 type recordingGen struct {
-	inner    mc.EventGen
+	inner mc.EventGen
+
+	mu       sync.Mutex
 	sawHome  bool
 	sawVar   bool
 	varSlot  int
@@ -21,6 +25,7 @@ type recordingGen struct {
 }
 
 func (g *recordingGen) Enabled(w *mc.World, node, block int) []mc.Event {
+	g.mu.Lock()
 	if w.IsHome(node, block) {
 		g.sawHome = true
 	}
@@ -30,6 +35,7 @@ func (g *recordingGen) Enabled(w *mc.World, node, block int) []mc.Event {
 	if w.AnyMessage(func(m *runtime.Message) bool { return true }) {
 		g.messages++
 	}
+	g.mu.Unlock()
 	if w.Nodes() != 2 {
 		panic("Nodes() wrong")
 	}

@@ -2,6 +2,7 @@ package lcm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"teapot/internal/core"
 	"teapot/internal/protocols/stache"
@@ -40,7 +41,9 @@ type Support struct {
 	holderSlot  int
 	updateMsg   int
 
-	// Merges counts reconciliations (per-run statistic).
+	// Merges counts reconciliations (per-run statistic). Updated
+	// atomically: one Support instance serves every engine, including the
+	// model checker's concurrent workers.
 	Merges int64
 }
 
@@ -82,7 +85,7 @@ func (s *Support) Call(ctx *runtime.Ctx, name string, args []*vm.Value) (vm.Valu
 		// Reconciliation of a PUT_ACCUM into the master copy. Data
 		// movement is modeled by the Data flag; here we only account for
 		// the merge work.
-		s.Merges++
+		atomic.AddInt64(&s.Merges, 1)
 		return vm.Value{}, nil
 	case "RecordConsumer":
 		return s.stache.Call(ctx, "AddSharer", args)

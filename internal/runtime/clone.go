@@ -1,0 +1,176 @@
+package runtime
+
+import (
+	"teapot/internal/vm"
+)
+
+// Deep-copy support for the model checker's clone-not-decode successor
+// generation: expanding a state decodes it once and derives each successor
+// from a structural copy instead of re-decoding the canonical encoding for
+// every enabled action.
+//
+// The copy is shallow wherever the runtime treats structure as immutable
+// after construction — messages, state values, and continuation records are
+// built fresh by the VM and never mutated in place — and deep for the
+// mutable containers (block variable slots, deferred queues, channel
+// slices). Info handles are rebound to the clone's blocks, mirroring what
+// DecodeValue does, and abstract support values are round-tripped through
+// the protocol's AbstractCodec.
+
+// Clone returns a deep copy of the engine's protocol state bound to
+// machine m. The protocol, support module, and compiled program are
+// shared; per-block state is copied so mutations of the clone never
+// observe or disturb the original. codec may be nil when the protocol
+// stores no abstract values (as for encoding).
+func (e *Engine) Clone(m Machine, codec AbstractCodec) (*Engine, error) {
+	c := &Engine{
+		Proto:        e.Proto,
+		Node:         e.Node,
+		Machine:      m,
+		Support:      e.Support,
+		Exec:         e.Exec,
+		QueueRecords: e.QueueRecords,
+		Sends:        e.Sends,
+	}
+	c.Blocks = make([]*Block, len(e.Blocks))
+	for i, b := range e.Blocks {
+		nb := &Block{ID: b.ID, transitioned: b.transitioned}
+		sv, _, err := cloneValue(vm.StateValue(b.State), nb, codec)
+		if err != nil {
+			return nil, err
+		}
+		nb.State = sv.State()
+		if len(b.Vars) > 0 {
+			nb.Vars = make([]vm.Value, len(b.Vars))
+			for j, v := range b.Vars {
+				if nb.Vars[j], _, err = cloneValue(v, nb, codec); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(b.Deferred) > 0 {
+			nb.Deferred = make([]*Message, len(b.Deferred))
+			for j, dm := range b.Deferred {
+				if nb.Deferred[j], err = cloneMessage(dm, nb, codec); err != nil {
+					return nil, err
+				}
+			}
+		}
+		c.Blocks[i] = nb
+	}
+	return c, nil
+}
+
+// CloneMessage returns a copy of msg safe to own alongside the original.
+// Messages are immutable after construction, so the same pointer is
+// returned unless the payload holds block-bound values (info handles,
+// abstract values), which are rebound to this engine's blocks exactly as
+// DecodeMessage would.
+func (e *Engine) CloneMessage(msg *Message, codec AbstractCodec) (*Message, error) {
+	if msg.ID < 0 || msg.ID >= len(e.Blocks) {
+		return msg, nil
+	}
+	return cloneMessage(msg, e.Blocks[msg.ID], codec)
+}
+
+func cloneMessage(msg *Message, block *Block, codec AbstractCodec) (*Message, error) {
+	var payload []vm.Value
+	for i, v := range msg.Payload {
+		nv, changed, err := cloneValue(v, block, codec)
+		if err != nil {
+			return nil, err
+		}
+		if changed && payload == nil {
+			payload = make([]vm.Value, len(msg.Payload))
+			copy(payload, msg.Payload[:i])
+		}
+		if payload != nil {
+			payload[i] = nv
+		}
+	}
+	if payload == nil {
+		return msg, nil
+	}
+	nm := *msg
+	nm.Payload = payload
+	return &nm, nil
+}
+
+// cloneValue copies v for a world bound to block. The returned bool
+// reports whether a new value had to be built; unchanged subtrees are
+// shared, so cloning a protocol state with no info handles or abstract
+// values allocates nothing per value.
+func cloneValue(v vm.Value, block *Block, codec AbstractCodec) (vm.Value, bool, error) {
+	switch v.Kind {
+	case vm.KState:
+		sv := v.State()
+		if sv == nil {
+			return v, false, nil
+		}
+		args, changed, err := cloneValues(sv.Args, block, codec)
+		if err != nil {
+			return vm.Value{}, false, err
+		}
+		if !changed {
+			return v, false, nil
+		}
+		return vm.StateValue(&vm.StateVal{State: sv.State, Args: args}), true, nil
+	case vm.KCont:
+		c := v.Cont()
+		if c == nil {
+			return v, false, nil
+		}
+		saved, changed, err := cloneValues(c.Saved, block, codec)
+		if err != nil {
+			return vm.Value{}, false, err
+		}
+		if !changed {
+			return v, false, nil
+		}
+		nc := *c
+		nc.Saved = saved
+		return vm.ContVal(&nc), true, nil
+	case vm.KInfo:
+		// Info handles always denote the enclosing block (see DecodeValue).
+		return vm.InfoVal(block), true, nil
+	case vm.KAbstract:
+		if codec == nil {
+			// Without a codec the value cannot be rebuilt; share it. A
+			// protocol that mutates abstract values must supply a codec —
+			// the same requirement encode already imposes.
+			return v, false, nil
+		}
+		enc := &Encoder{}
+		if err := codec.EncodeAbstract(v.Ref, enc); err != nil {
+			return vm.Value{}, false, err
+		}
+		ref, err := codec.DecodeAbstract(NewDecoder(enc.Bytes()))
+		if err != nil {
+			return vm.Value{}, false, err
+		}
+		return vm.AbstractVal(ref), true, nil
+	default:
+		return v, false, nil
+	}
+}
+
+func cloneValues(vs []vm.Value, block *Block, codec AbstractCodec) ([]vm.Value, bool, error) {
+	var out []vm.Value
+	for i, v := range vs {
+		nv, changed, err := cloneValue(v, block, codec)
+		if err != nil {
+			return nil, false, err
+		}
+		if changed && out == nil {
+			out = make([]vm.Value, len(vs))
+			copy(out, vs[:i])
+		}
+		if out != nil {
+			out[i] = nv
+		}
+	}
+	if out == nil {
+		return vs, false, nil
+	}
+	return out, true, nil
+}
