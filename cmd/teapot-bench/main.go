@@ -59,10 +59,12 @@ func main() {
 			}
 			mcRows, err := bench.MCBench(counts)
 			check(err)
-			data, err := json.MarshalIndent(mcRows, "", "  ")
+			obsRows, err := bench.ObsBench(8, 3)
+			check(err)
+			data, err := json.MarshalIndent(bench.MCBaseline{MC: mcRows, Obs: obsRows}, "", "  ")
 			check(err)
 			check(os.WriteFile(*mcOut, append(data, '\n'), 0o644))
-			fmt.Printf("checker throughput baseline written to %s (workers %v)\n\n", *mcOut, counts)
+			fmt.Printf("checker throughput + obs baseline written to %s (workers %v)\n\n", *mcOut, counts)
 		}
 	}
 	if *figures || !specific {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"teapot/internal/obs"
 	"teapot/internal/protocols/lcm"
 	"teapot/internal/protocols/stache"
 	"teapot/internal/runtime"
@@ -21,10 +22,12 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "gauss", "gauss | appbt | shallow | mp3d | adaptive | stencil | unstruct | prodcons")
-		nodes    = flag.Int("nodes", 32, "number of nodes")
-		iters    = flag.Int("iters", 4, "workload iterations")
-		engine   = flag.String("engine", "opt", "hw (hand-written) | unopt | opt")
+		workload  = flag.String("workload", "gauss", "gauss | appbt | shallow | mp3d | adaptive | stencil | unstruct | prodcons")
+		nodes     = flag.Int("nodes", 32, "number of nodes")
+		iters     = flag.Int("iters", 4, "workload iterations")
+		engine    = flag.String("engine", "opt", "hw (hand-written) | unopt | opt")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (open in about:tracing or ui.perfetto.dev)")
+		showStats = flag.Bool("stats", false, "print the observability event summary after the run")
 	)
 	flag.Parse()
 
@@ -56,8 +59,10 @@ func main() {
 	optimize := *engine != "unopt"
 	var mk func(m runtime.Machine) tempest.Engine
 	var tags tempest.EventTags
+	var proto *runtime.Protocol
 	if isLCM {
 		p := lcm.MustCompile(lcm.Base, optimize).Protocol
+		proto = p
 		tags = tempest.ResolveTags(p)
 		mk = func(m runtime.Machine) tempest.Engine {
 			if *engine == "hw" {
@@ -67,6 +72,7 @@ func main() {
 		}
 	} else {
 		p := stache.MustCompile(optimize).Protocol
+		proto = p
 		tags = tempest.ResolveTags(p)
 		mk = func(m runtime.Machine) tempest.Engine {
 			if *engine == "hw" {
@@ -76,13 +82,36 @@ func main() {
 		}
 	}
 
+	var col *obs.Collector
+	if *traceOut != "" || *showStats {
+		if *engine == "hw" {
+			fatal(fmt.Errorf("-trace/-stats need a Teapot engine (hand-written baselines emit no events); use -engine opt or unopt"))
+		}
+		col = obs.NewCollector(0)
+	}
+
 	stats, err := sim.Run(sim.Config{
 		Nodes: *nodes, Blocks: w.Blocks,
 		Cost: tempest.DefaultCost, Tags: tags,
 		MakeEngine: mk, Program: w.Trace,
+		Obs: sinkOrNil(col),
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, col.Events(), runtime.ObsNames(proto)); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "teapot-sim: wrote %d events to %s\n", len(col.Events()), *traceOut)
 	}
 	fmt.Printf("workload %s (%d nodes, %d blocks, engine %s)\n", w.Name, *nodes, w.Blocks, *engine)
 	fmt.Printf("  execution time: %d cycles\n", stats.Cycles)
@@ -93,6 +122,18 @@ func main() {
 		stats.Protocol.Handlers, stats.Protocol.Instrs, stats.ProtoTime)
 	fmt.Printf("  continuations: %d heap, %d static; queue records: %d\n",
 		stats.Protocol.HeapConts, stats.Protocol.StaticConts, stats.Protocol.QueueRecords)
+	if *showStats {
+		fmt.Print(col.Summary(runtime.ObsNames(proto)))
+	}
+}
+
+// sinkOrNil avoids the classic non-nil interface holding a nil pointer:
+// sim.Run checks Obs against nil.
+func sinkOrNil(c *obs.Collector) obs.Sink {
+	if c == nil {
+		return nil
+	}
+	return c
 }
 
 func fatal(err error) {

@@ -29,6 +29,8 @@ func main() {
 		reorder  = flag.Int("reorder", 1, "network reordering bound")
 		maxState = flag.Int("max-states", 0, "abort after exploring this many states (0 = unlimited)")
 		workers  = flag.Int("workers", 0, "BFS worker goroutines (0 = GOMAXPROCS)")
+		progress = flag.String("progress", "auto", "live per-layer progress on stderr: auto (only when stderr is a terminal) | always | never")
+		stats    = flag.Bool("stats", false, "print a final exploration stats block")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
@@ -41,6 +43,17 @@ func main() {
 	}
 	cfg.MaxStates = *maxState
 	cfg.Workers = *workers
+
+	switch *progress {
+	case "always", "auto", "never":
+	default:
+		fmt.Fprintf(os.Stderr, "teapot-verify: -progress must be auto, always, or never (got %q)\n", *progress)
+		os.Exit(1)
+	}
+	if *progress == "always" || (*progress == "auto" && stderrIsTerminal()) {
+		pw := &mc.ProgressWriter{W: os.Stderr}
+		cfg.Progress = pw.Report
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -80,12 +93,38 @@ func main() {
 
 	fmt.Printf("protocol %s: %d states, %d transitions, depth %d, %d workers, %s\n",
 		*protocol, res.States, res.Transitions, res.MaxDepth, res.Workers, res.Elapsed)
+	if *stats {
+		rate := 0.0
+		if s := res.Elapsed.Seconds(); s > 0 {
+			rate = float64(res.States) / s
+		}
+		dedup := 0.0
+		if res.States > 0 {
+			dedup = float64(res.Transitions) / float64(res.States)
+		}
+		fmt.Printf("  peak frontier:  %d states\n", res.PeakFrontier)
+		fmt.Printf("  decodes:        %d (one per expanded state)\n", res.Decodes)
+		fmt.Printf("  visited set:    %s\n", mc.FormatBytes(res.VisitedBytes))
+		fmt.Printf("  rate:           %.0f states/s\n", rate)
+		fmt.Printf("  dedup ratio:    %.2f transitions/state\n", dedup)
+	}
 	if res.Violation == nil {
 		fmt.Println("verified: no deadlock, no unexpected messages, coherence holds")
 		return
 	}
 	fmt.Printf("VIOLATION %s\n", res.Violation)
 	os.Exit(2)
+}
+
+// stderrIsTerminal reports whether stderr is attached to a character
+// device. The -progress auto gate: live lines are for humans watching a
+// terminal, not for logs captured by redirection or CI.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
 }
 
 func configFor(name string, nodes, blocks, reorder int) (mc.Config, error) {

@@ -23,6 +23,12 @@
 //
 // Exit status is 0 when no target has findings at warning level or above,
 // 1 when some target does, and 2 on usage or compile errors.
+//
+// The cont-alloc findings name suspend sites by id; the same ids appear in
+// `teapotc -emit sites` tables and on the ContAlloc/Resume events of
+// `teapot-sim -trace` output, so a static finding can be confirmed (or
+// weighed) against a real run's allocation counts — see the cross-check
+// test in internal/analysis.
 package main
 
 import (

@@ -12,7 +12,10 @@
 //
 //	-builtin name   use a bundled protocol (stache, stache-cas, stache-buggy,
 //	                lcm, lcm-update, lcm-mcc, lcm-both, bufwrite, update)
-//	-emit kind      go | murphi | dot | ir | fmt | stats (default stats)
+//	-emit kind      go | murphi | dot | ir | fmt | stats | sites (default stats)
+//	                sites prints the suspend-site classification table; its
+//	                site ids are the ones ContAlloc/Resume trace events carry
+//	                (teapot-sim -trace), so a trace can be read against it
 //	-O              enable the constant-continuation optimization (default on)
 //	-pkg name       package name for -emit go (default "proto")
 //	-dot-prefix s   state-name filter for -emit dot ("Cache_", "Home_")
@@ -40,7 +43,7 @@ import (
 func main() {
 	var (
 		builtin    = flag.String("builtin", "", "use a bundled protocol instead of a source file")
-		emit       = flag.String("emit", "stats", "artifact to emit: go|murphi|dot|ir|fmt|stats")
+		emit       = flag.String("emit", "stats", "artifact to emit: go|murphi|dot|ir|fmt|stats|sites")
 		optimize   = flag.Bool("O", true, "enable the constant-continuation optimization")
 		pkg        = flag.String("pkg", "proto", "package name for -emit go")
 		dotPrefix  = flag.String("dot-prefix", "", "state-name prefix filter for -emit dot")
@@ -99,6 +102,8 @@ func main() {
 		out = ast.Print(art.AST)
 	case "stats":
 		out = stats(art)
+	case "sites":
+		out = sites(art)
 	default:
 		fatal(fmt.Errorf("unknown -emit kind %q", *emit))
 	}
@@ -141,6 +146,28 @@ func stats(art *core.Artifacts) string {
 	out += fmt.Sprintf("  suspend sites: %d (static %d, constant %d, dynamic %d, max saved %d)\n",
 		st.Sites, st.Static, st.Constant, st.Dynamic, st.MaxSaved)
 	out += fmt.Sprintf("  options:   %+v\n", cont.Options{Liveness: true, ConstCont: art.Protocol.Opts.ConstCont})
+	return out
+}
+
+// sites renders the suspend-site classification table. The ids in the
+// first column are the Site values ContAlloc and Resume events carry in
+// teapot-sim -trace output, so a Chrome trace reads directly against this
+// table.
+func sites(art *core.Artifacts) string {
+	out := fmt.Sprintf("suspend sites for %s\n", art.Sema.ProtoName)
+	out += fmt.Sprintf("  %4s  %-34s %-22s %-9s %s\n", "site", "handler", "target state", "class", "saved regs")
+	for _, s := range art.IR.Sites {
+		class := "heap"
+		switch {
+		case s.Static && s.Constant:
+			class = "constant"
+		case s.Static:
+			class = "static"
+		}
+		out += fmt.Sprintf("  %4d  %-34s %-22s %-9s %d\n",
+			s.ID, s.Func.Name, art.Sema.States[s.TargetState].Name, class,
+			len(s.Func.Frags[s.FragIdx].Saved))
+	}
 	return out
 }
 

@@ -15,6 +15,7 @@ import (
 	"teapot/internal/core"
 	"teapot/internal/dot"
 	"teapot/internal/mc"
+	"teapot/internal/obs"
 	"teapot/internal/protocols/bufwrite"
 	"teapot/internal/protocols/lcm"
 	"teapot/internal/protocols/stache"
@@ -284,6 +285,88 @@ func MCBench(workerCounts []int) ([]MCRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// ObsRow is one BENCH_mc.json observability record: the event volume and
+// sink-path allocation cost of tracing one Table 1 workload (Stache,
+// optimized) under a counting Collector.
+type ObsRow struct {
+	Workload      string  `json:"workload"`
+	Ops           int     `json:"ops"`
+	Events        int64   `json:"events"`
+	EventsPerOp   float64 `json:"events_per_op"`
+	HeapConts     int64   `json:"heap_conts"`
+	StaticConts   int64   `json:"static_conts"`
+	MaxQueueDepth int64   `json:"max_queue_depth"`
+	// SinkAllocsPerEvent is the extra heap objects per emitted event of an
+	// observed run versus a bare one (ring growth plus counter maps;
+	// expected well under one — the ring amortizes).
+	SinkAllocsPerEvent float64 `json:"sink_allocs_per_event"`
+}
+
+// ObsBench traces every Table 1 workload and measures what observing
+// costs: each workload runs once bare and once under a Collector, and the
+// malloc-count delta between the runs is attributed to the sink path.
+func ObsBench(nodes, iters int) ([]ObsRow, error) {
+	art := stache.MustCompile(true)
+	tags := tempest.ResolveTags(art.Protocol)
+	sup := stache.MustSupport(art.Protocol)
+	var rows []ObsRow
+	for _, w := range sim.Table1Workloads(nodes, iters) {
+		mk := func(m runtime.Machine) tempest.Engine {
+			return tempest.NewTeapotEngine(art.Protocol, nodes, w.Blocks, m, sup)
+		}
+		var before, mid, after goruntime.MemStats
+		goruntime.ReadMemStats(&before)
+		if _, err := run(w, nodes, tags, mk); err != nil {
+			return nil, fmt.Errorf("%s/bare: %w", w.Name, err)
+		}
+		goruntime.ReadMemStats(&mid)
+		col := obs.NewCollector(0)
+		if _, err := sim.Run(sim.Config{
+			Nodes: nodes, Blocks: w.Blocks,
+			Cost: tempest.DefaultCost, Tags: tags,
+			MakeEngine: mk, Program: w.Trace, Obs: col,
+		}); err != nil {
+			return nil, fmt.Errorf("%s/obs: %w", w.Name, err)
+		}
+		goruntime.ReadMemStats(&after)
+
+		row := ObsRow{
+			Workload:      w.Name,
+			Ops:           w.Trace.TotalOps(),
+			Events:        col.Total(),
+			HeapConts:     col.Count(obs.KindContAlloc),
+			MaxQueueDepth: col.MaxQueueDepth(),
+		}
+		heap, static := int64(0), int64(0)
+		for _, s := range col.HeapContSites() {
+			h, _ := col.SiteAllocs(s)
+			heap += h
+		}
+		for _, s := range col.StaticContSites() {
+			_, st := col.SiteAllocs(s)
+			static += st
+		}
+		row.HeapConts, row.StaticConts = heap, static
+		if row.Ops > 0 {
+			row.EventsPerOp = float64(row.Events) / float64(row.Ops)
+		}
+		bare := mid.Mallocs - before.Mallocs
+		observed := after.Mallocs - mid.Mallocs
+		if observed > bare && row.Events > 0 {
+			row.SinkAllocsPerEvent = float64(observed-bare) / float64(row.Events)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MCBaseline is the committed BENCH_mc.json document: checker throughput
+// rows plus the observability-layer cost rows.
+type MCBaseline struct {
+	MC  []MCRow  `json:"mc"`
+	Obs []ObsRow `json:"obs"`
 }
 
 // ReorderSweep verifies Stache across reordering bounds (the paper:

@@ -36,6 +36,7 @@ func Check(cfg Config) (*Result, error) {
 	}
 	vt := newVisited()
 	layer := []int32{vt.addRoot(initKey)}
+	res.PeakFrontier = 1
 
 	for depth := 0; len(layer) > 0; depth++ {
 		res.MaxDepth = depth
@@ -46,6 +47,24 @@ func Check(cfg Config) (*Result, error) {
 		res.Transitions += int(out.transitions)
 		res.Decodes += out.decodes
 		next := vt.commit(layer)
+		if len(next) > res.PeakFrontier {
+			res.PeakFrontier = len(next)
+		}
+		if cfg.Progress != nil {
+			// Reported from the driver goroutine, after the barrier: the
+			// snapshot reads no state a worker could still be touching.
+			min, max := vt.shardStats()
+			cfg.Progress(ProgressInfo{
+				Depth:        depth,
+				Frontier:     len(next),
+				States:       len(vt.arena),
+				Transitions:  int64(res.Transitions),
+				Elapsed:      time.Since(start),
+				VisitedBytes: vt.bytes(),
+				ShardMin:     min,
+				ShardMax:     max,
+			})
+		}
 		if out.cand != nil {
 			v, err := buildViolation(&cfg, vt, layer, out.cand)
 			if err != nil {

@@ -57,6 +57,46 @@ type Config struct {
 	Workers int
 
 	CheckCoherence bool
+
+	// Progress, when non-nil, is invoked from the driver goroutine at every
+	// layer barrier with a snapshot of the exploration. It must not call
+	// back into the checker. Installing it never changes what the run
+	// computes: every Result figure stays bit-identical.
+	Progress func(ProgressInfo)
+}
+
+// ProgressInfo is one layer-barrier snapshot handed to Config.Progress.
+// All fields except Elapsed are deterministic.
+type ProgressInfo struct {
+	Depth       int           // BFS depth just expanded
+	Frontier    int           // states discovered for the next layer
+	States      int           // visited states committed so far
+	Transitions int64         // transitions taken so far
+	Elapsed     time.Duration // wall time since Check started
+	// VisitedBytes approximates the retained size of the visited set
+	// (canonical keys plus per-state bookkeeping).
+	VisitedBytes int64
+	// ShardMin and ShardMax are the smallest and largest committed-state
+	// counts over the visited table's shards — a fingerprint-balance
+	// indicator (ShardMax >> ShardMin means the hash is clumping).
+	ShardMin, ShardMax int64
+}
+
+// StatesPerSec returns the average exploration rate so far.
+func (p ProgressInfo) StatesPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.States) / p.Elapsed.Seconds()
+}
+
+// DedupRatio returns transitions per committed state — how many arrows hit
+// states that were already visited (1.0 means no sharing in the graph).
+func (p ProgressInfo) DedupRatio() float64 {
+	if p.States == 0 {
+		return 0
+	}
+	return float64(p.Transitions) / float64(p.States)
 }
 
 // normalize fills configuration defaults in place.
@@ -104,6 +144,9 @@ type Result struct {
 
 	// Workers is the worker count the run actually used.
 	Workers int
+	// PeakFrontier is the largest BFS layer encountered — the high-water
+	// mark for per-layer memory.
+	PeakFrontier int
 	// Decodes counts full state decodes — exactly one per expanded state
 	// (successors are derived by cloning, not re-decoding).
 	Decodes int64

@@ -44,6 +44,10 @@ func equivalenceConfigs(t *testing.T) map[string]func() mc.Config {
 // TestWorkerEquivalence is the determinism contract of the parallel
 // checker: States, Transitions, MaxDepth, the violation kind, and the
 // counterexample trace length must be identical for any worker count.
+// Every run has a Progress callback installed — observation must never
+// perturb the result — and the snapshots themselves are checked for the
+// deterministic shape Check promises (one per layer, depth increasing,
+// final totals matching the Result).
 func TestWorkerEquivalence(t *testing.T) {
 	for name, mk := range equivalenceConfigs(t) {
 		t.Run(name, func(t *testing.T) {
@@ -51,9 +55,25 @@ func TestWorkerEquivalence(t *testing.T) {
 			for _, workers := range []int{1, 2, 8} {
 				cfg := mk()
 				cfg.Workers = workers
+				var snaps []mc.ProgressInfo
+				cfg.Progress = func(p mc.ProgressInfo) { snaps = append(snaps, p) }
 				res, err := mc.Check(cfg)
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if len(snaps) != res.MaxDepth+1 {
+					t.Errorf("workers=%d: %d progress snapshots, want one per layer (%d)",
+						workers, len(snaps), res.MaxDepth+1)
+				}
+				for i, p := range snaps {
+					if p.Depth != i {
+						t.Errorf("workers=%d: snapshot %d has depth %d", workers, i, p.Depth)
+					}
+				}
+				if last := snaps[len(snaps)-1]; last.States != res.States ||
+					last.Transitions != int64(res.Transitions) {
+					t.Errorf("workers=%d: final snapshot (states,transitions) = (%d,%d), result has (%d,%d)",
+						workers, last.States, last.Transitions, res.States, res.Transitions)
 				}
 				if res.Workers != workers {
 					t.Errorf("res.Workers = %d, want %d", res.Workers, workers)

@@ -71,6 +71,12 @@ type visitedTable struct {
 	hash   func(string) uint64 // fingerprint; replaceable in tests
 	shards [numShards]shard
 	arena  []stateRec
+
+	// keyBytes and counts are running totals maintained at addRoot/commit
+	// (never while workers hold shard locks), so progress snapshots are
+	// O(shards), not O(states).
+	keyBytes int64
+	counts   [numShards]int64 // committed states per shard
 }
 
 func newVisited() *visitedTable {
@@ -88,6 +94,8 @@ func (t *visitedTable) addRoot(key string) int32 {
 	t.arena = append(t.arena, stateRec{key: key, parent: -1, action: -1})
 	s := &t.shards[fp%numShards]
 	s.seen[fp] = append(s.seen[fp], 0)
+	t.keyBytes += int64(len(key))
+	t.counts[fp%numShards]++
 	return 0
 }
 
@@ -148,6 +156,8 @@ func (t *visitedTable) commit(layer []int32) []int32 {
 		t.arena = append(t.arena, stateRec{key: c.key, parent: layer[c.pos], action: c.ord})
 		s := &t.shards[c.fp%numShards]
 		s.seen[c.fp] = append(s.seen[c.fp], idx)
+		t.keyBytes += int64(len(c.key))
+		t.counts[c.fp%numShards]++
 		next = append(next, idx)
 	}
 	return next
@@ -156,9 +166,20 @@ func (t *visitedTable) commit(layer []int32) []int32 {
 // bytes estimates the retained size of the visited set: key bytes plus
 // per-state bookkeeping (string header, parent/action, shard index entry).
 func (t *visitedTable) bytes() int64 {
-	var b int64
-	for i := range t.arena {
-		b += int64(len(t.arena[i].key))
+	return t.keyBytes + int64(len(t.arena))*32
+}
+
+// shardStats returns the smallest and largest committed-state count across
+// the shards — a balance indicator for the fingerprint distribution.
+func (t *visitedTable) shardStats() (min, max int64) {
+	min = t.counts[0]
+	for _, n := range t.counts {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
 	}
-	return b + int64(len(t.arena))*32
+	return min, max
 }

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// script runs a small two-node exchange through a collector: node 0 faults,
+// sends a request; node 1 handles it, suspends, enqueues a message, NACKs;
+// later resumes and replies.
+func script(t *testing.T, capacity int) *Collector {
+	t.Helper()
+	c := NewCollector(capacity)
+	emit := func(evs ...Event) {
+		for _, ev := range evs {
+			c.Emit(ev)
+		}
+	}
+	emit(
+		Event{Kind: KindHandlerEnter, Node: 0, Block: 0, State: 0, Msg: 0},
+		Event{Kind: KindSend, Node: 0, Block: 0, Msg: 1, Peer: 1, Flow: 0x10001},
+		Event{Kind: KindSuspend, Node: 0, Block: 0, State: 2},
+		Event{Kind: KindContAlloc, Node: 0, Block: 0, Site: 1, Arg: 0},
+		Event{Kind: KindHandlerExit, Node: 0, Block: 0, State: 2, Msg: 0},
+
+		Event{Kind: KindDeliver, Node: 1, Block: 0, Msg: 1, Peer: 0, Flow: 0x10001},
+		Event{Kind: KindHandlerEnter, Node: 1, Block: 0, State: 3, Msg: 1, Peer: 0},
+		Event{Kind: KindEnqueue, Node: 1, Block: 0, Msg: 1, Peer: 0, Arg: 1},
+		Event{Kind: KindNACK, Node: 1, Block: 0, Msg: 1, Peer: 0},
+		Event{Kind: KindSend, Node: 1, Block: 0, Msg: 2, Peer: 0, Flow: 0x20001},
+		Event{Kind: KindHandlerExit, Node: 1, Block: 0, State: 3, Msg: 1},
+
+		Event{Kind: KindDeliver, Node: 0, Block: 0, Msg: 2, Peer: 1, Flow: 0x20001},
+		Event{Kind: KindHandlerEnter, Node: 0, Block: 0, State: 2, Msg: 2, Peer: 1},
+		Event{Kind: KindResume, Node: 0, Block: 0, State: 2, Site: 1, Arg: 1},
+		Event{Kind: KindDequeue, Node: 0, Block: 0, Msg: 2, Arg: 0},
+		Event{Kind: KindHandlerExit, Node: 0, Block: 0, State: 0, Msg: 2},
+	)
+	return c
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	c := script(t, 0)
+	names := Names{
+		States:   []string{"Cache_Inv", "Cache_RO", "Cache_Wait", "Home_Idle"},
+		Messages: []string{"RD_FAULT", "GET_RO_REQ", "PUT_DATA"},
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, c.Events(), names); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := ValidateChromeTrace(strings.NewReader(out)); err != nil {
+		t.Fatalf("emitted trace fails its own schema check: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`"name":"Cache_Inv.RD_FAULT"`, // handler slice named state.msg
+		`"name":"node 0"`,             // thread metadata
+		`"name":"node 1"`,
+		`"ph":"s"`, `"ph":"f"`, // flow arrows
+		`"name":"Suspend"`, `"name":"Resume"`, `"name":"ContAlloc"`,
+		`"name":"NACK GET_RO_REQ"`,
+		`"wait_state":"Cache_Wait"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+}
+
+// TestChromeTraceTruncatedWindow exercises the ring-wrap degradations: exits
+// without enters are dropped, flow ends without starts are dropped, and the
+// result still validates.
+func TestChromeTraceTruncatedWindow(t *testing.T) {
+	c := script(t, 6) // keeps only the last 6 of 16 events
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, c.Events(), Names{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("truncated trace fails validation: %v\n%s", err, b.String())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents":[`,
+		"empty":         `{"traceEvents":[]}`,
+		"unknown phase": `{"traceEvents":[{"ph":"Z"}]}`,
+		"unbalanced":    `{"traceEvents":[{"ph":"B","name":"x","tid":1}]}`,
+		"E without B":   `{"traceEvents":[{"ph":"E","tid":1}]}`,
+		"flow no start": `{"traceEvents":[{"ph":"B","name":"x"},{"ph":"f","id":9},{"ph":"E"}]}`,
+		"no slices":     `{"traceEvents":[{"ph":"M","name":"process_name"}]}`,
+	}
+	for name, doc := range cases {
+		if err := ValidateChromeTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", name)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package obs is the protocol event-tracing and metrics layer. The paper's
+// whole argument is that coherence protocols are illegible when their
+// suspend/resume control flow is hidden inside hand-written handler code;
+// this package makes the reproduced stack legible at run time: the runtime
+// engine (and, through it, the simulator) emits typed events — handler
+// dispatch, Suspend/Resume, continuation allocation, deferred-queue and
+// NACK traffic, message sends and deliveries — into a Sink, and exporters
+// turn the stream into counters, a plain-text summary, or a Chrome
+// trace_event JSON loadable in about:tracing / Perfetto.
+//
+// Tracing is strictly opt-in and zero-cost when disabled: every emission
+// site in the runtime is guarded by a single nil check
+// (runtime.BenchmarkEngineDispatch asserts the disabled path allocates
+// nothing extra), and the rare-op hooks inside the VM (Suspend, Resume,
+// MakeCont) fire only when a tracer was installed alongside the sink.
+//
+// The package is a leaf: it knows nothing of the runtime, simulator, or
+// checker. Names (state and message tables for rendering) are supplied by
+// the caller; runtime.ObsNames builds them from a compiled protocol.
+package obs
+
+import "fmt"
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds. HandlerEnter/HandlerExit bracket one handler activation
+// (they become slices in the Chrome trace); the rest are instants.
+const (
+	KindHandlerEnter Kind = iota
+	KindHandlerExit
+	KindSuspend
+	KindResume
+	KindContAlloc
+	KindEnqueue
+	KindDequeue
+	KindNACK
+	KindSend
+	KindDeliver
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"HandlerEnter", "HandlerExit", "Suspend", "Resume", "ContAlloc",
+	"Enqueue", "Dequeue", "NACK", "Send", "Deliver",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one observed protocol occurrence. Fields beyond Kind and Node
+// are kind-specific; unused ones are -1 (indices) or 0 (Arg, Flow).
+//
+//	Kind          Block  State      Msg        Peer      Site  Arg            Flow
+//	HandlerEnter  block  pre-state  tag        src       -     -              -
+//	HandlerExit   block  post-state tag        src       -     -              -
+//	Suspend       block  wait-state -          -         -     -              -
+//	Resume        block  cur-state  -          -         site  1 if direct    -
+//	ContAlloc     block  cur-state  -          -         site  1 if heap      -
+//	Enqueue       block  cur-state  tag        src       -     queue depth    -
+//	Dequeue       block  cur-state  tag        src       -     queue depth    -
+//	NACK          block  cur-state  orig tag   dst       -     -              -
+//	Send          block  -          tag        dst       -     1 if data      flow id
+//	Deliver       block  pre-state  tag        src       -     -              flow id
+//
+// Time is the virtual time stamped by the sink's clock (simulated cycles
+// under the Tempest machine) and Seq a strictly increasing sequence number;
+// both are assigned by the sink, not the emitter.
+type Event struct {
+	Kind  Kind
+	Node  int32
+	Block int32
+	State int32
+	Msg   int32
+	Peer  int32
+	Site  int32
+	Arg   int64
+	Flow  int64
+	Time  int64
+	Seq   int64
+}
+
+// Sink receives events. Implementations are not required to be safe for
+// concurrent use: the deterministic simulator emits from one goroutine, and
+// the model checker never installs sinks on the worlds it explores.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// Attacher is implemented by engines that can carry a sink (the runtime
+// engine and the tempest adapter); sim.Run uses it to wire Config.Obs
+// without the tempest Engine interface having to know about tracing.
+type Attacher interface {
+	SetObs(s Sink)
+}
+
+// ClockSetter is implemented by sinks that can timestamp events from a
+// virtual clock; sim.Run points it at the machine's cycle counter.
+type ClockSetter interface {
+	SetClock(now func() int64)
+}
+
+// Names are the render tables for states and messages, indexed by the
+// State/Msg event fields. Either slice may be nil; lookups fall back to
+// numeric forms.
+type Names struct {
+	States   []string
+	Messages []string
+}
+
+// State renders a state index.
+func (n Names) State(i int32) string {
+	if i >= 0 && int(i) < len(n.States) {
+		return n.States[i]
+	}
+	return fmt.Sprintf("state%d", i)
+}
+
+// Message renders a message tag.
+func (n Names) Message(i int32) string {
+	if i >= 0 && int(i) < len(n.Messages) {
+		return n.Messages[i]
+	}
+	return fmt.Sprintf("msg%d", i)
+}

@@ -32,6 +32,10 @@ func (e *Engine) Clone(m Machine, codec AbstractCodec) (*Engine, error) {
 		QueueRecords: e.QueueRecords,
 		Sends:        e.Sends,
 	}
+	// Clones never inherit observability: the tracer interface pointer in
+	// the copied Exec still aims at the original engine, and the checker
+	// clones concurrently while sinks are single-goroutine.
+	c.Exec.Tracer = nil
 	c.Blocks = make([]*Block, len(e.Blocks))
 	for i, b := range e.Blocks {
 		nb := &Block{ID: b.ID, transitioned: b.transitioned}

@@ -10,6 +10,7 @@ import (
 
 	"teapot/internal/cont"
 	"teapot/internal/ir"
+	"teapot/internal/obs"
 	"teapot/internal/sema"
 	"teapot/internal/vm"
 )
@@ -23,6 +24,11 @@ type Message struct {
 	Src     int // sending node
 	Payload []vm.Value
 	Data    bool // message carries the block's data
+
+	// flow correlates a Send event with the Deliver of the same message in
+	// an observability trace. Assigned only while a sink is attached; not
+	// part of the canonical encoding.
+	flow int64
 }
 
 // Protocol is a compiled protocol plus execution options, shared by all
@@ -141,6 +147,12 @@ type Engine struct {
 		enq   bool // current message was enqueued
 		drop  bool
 	}
+
+	// obs is the optional event sink (see SetObs). Every emission below is
+	// guarded by one nil check so the hot path is untouched when tracing is
+	// off; BenchmarkEngineDispatch asserts this costs nothing measurable.
+	obs     obs.Sink
+	flowSeq int64
 }
 
 // NewEngine builds an engine for a node managing numBlocks blocks.
@@ -199,6 +211,10 @@ func (e *Engine) Counters() vm.Counters { return e.Exec.Counters }
 // retried after a transition out of the state).
 func (e *Engine) Deliver(m *Message) error {
 	b := e.Blocks[m.ID]
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Kind: obs.KindDeliver, Node: int32(e.Node), Block: int32(b.ID),
+			State: int32(b.State.State), Msg: int32(m.Tag), Peer: int32(m.Src), Flow: m.flow})
+	}
 	b.transitioned = false // retries are triggered by *this* delivery's transitions
 	if err := e.dispatch(b, m); err != nil {
 		return err
@@ -217,6 +233,11 @@ func (e *Engine) drain(b *Block) error {
 		q := b.Deferred
 		b.Deferred = nil
 		for i, m := range q {
+			if e.obs != nil {
+				e.obs.Emit(obs.Event{Kind: obs.KindDequeue, Node: int32(e.Node), Block: int32(b.ID),
+					State: int32(b.State.State), Msg: int32(m.Tag), Peer: int32(m.Src),
+					Arg: int64(len(q) - 1 - i)})
+			}
 			if err := e.dispatch(b, m); err != nil {
 				return err
 			}
@@ -246,7 +267,15 @@ func (e *Engine) dispatch(b *Block, m *Message) error {
 		return e.errf(b, "message %s delivered with %d payload values, handler %s expects %d",
 			e.msgName(m.Tag), len(m.Payload), f.Name, f.NumParams-3)
 	}
-	return e.Exec.RunHandler(e, f, b.State.Args, params)
+	if e.obs == nil {
+		return e.Exec.RunHandler(e, f, b.State.Args, params)
+	}
+	e.obs.Emit(obs.Event{Kind: obs.KindHandlerEnter, Node: int32(e.Node), Block: int32(b.ID),
+		State: int32(b.State.State), Msg: int32(m.Tag), Peer: int32(m.Src)})
+	err := e.Exec.RunHandler(e, f, b.State.Args, params)
+	e.obs.Emit(obs.Event{Kind: obs.KindHandlerExit, Node: int32(e.Node), Block: int32(b.ID),
+		State: int32(b.State.State), Msg: int32(m.Tag), Peer: int32(m.Src)})
+	return err
 }
 
 // InjectEvent synthesizes a locally generated protocol event (access fault,
@@ -303,6 +332,9 @@ func (e *Engine) Send(data bool, dst, tag, id vm.Value, payload []vm.Value) erro
 		Data:    data,
 	}
 	e.Sends++
+	if e.obs != nil {
+		e.emitSend(m, int(dst.Int))
+	}
 	e.Machine.Send(e.Node, int(dst.Int), m)
 	return nil
 }
@@ -320,6 +352,11 @@ func (e *Engine) SetState(sv *vm.StateVal) error {
 func (e *Engine) Enqueue() error {
 	e.cur.block.Deferred = append(e.cur.block.Deferred, e.cur.msg)
 	e.QueueRecords++
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Kind: obs.KindEnqueue, Node: int32(e.Node), Block: int32(e.cur.block.ID),
+			State: int32(e.cur.block.State.State), Msg: int32(e.cur.msg.Tag), Peer: int32(e.cur.msg.Src),
+			Arg: int64(len(e.cur.block.Deferred))})
+	}
 	return nil
 }
 
@@ -335,6 +372,11 @@ func (e *Engine) Nack() error {
 		ID:      e.cur.msg.ID,
 		Src:     e.Node,
 		Payload: []vm.Value{vm.MsgVal(e.cur.msg.Tag)},
+	}
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Kind: obs.KindNACK, Node: int32(e.Node), Block: int32(e.cur.block.ID),
+			State: int32(e.cur.block.State.State), Msg: int32(e.cur.msg.Tag), Peer: int32(e.cur.msg.Src)})
+		e.emitSend(m, e.cur.msg.Src)
 	}
 	e.Machine.Send(e.Node, e.cur.msg.Src, m)
 	return nil

@@ -50,7 +50,7 @@ func (m *testMachine) Print(node int, s string) {
 }
 
 // pump delivers queued messages until quiescence.
-func (m *testMachine) pump(t *testing.T) {
+func (m *testMachine) pump(t testing.TB) {
 	t.Helper()
 	for steps := 0; len(m.queue) > 0; steps++ {
 		if steps > 10000 {
@@ -154,7 +154,7 @@ state Toy.H_Shared() begin
 end;
 `
 
-func buildToy(t *testing.T, optimize bool) (*testMachine, *runtime.Protocol) {
+func buildToy(t testing.TB, optimize bool) (*testMachine, *runtime.Protocol) {
 	t.Helper()
 	art, err := core.Compile(core.Config{
 		Name: "toy.tea", Source: toyProtocol,

@@ -1,0 +1,93 @@
+package runtime
+
+import (
+	"teapot/internal/obs"
+	"teapot/internal/vm"
+)
+
+// Observability wiring: SetObs attaches an event sink to the engine and, in
+// the same motion, installs the VM tracer that surfaces the continuation
+// machinery (Suspend, Resume, MakeCont) — the control flow §2 of the paper
+// says hand-written protocols hide. Everything here is dormant until SetObs
+// is called; see the nil-check guards in engine.go.
+
+// SetObs implements obs.Attacher: attach (or, with nil, detach) an event
+// sink. Not safe to call while a handler is executing.
+func (e *Engine) SetObs(s obs.Sink) {
+	e.obs = s
+	if s != nil {
+		e.Exec.Tracer = (*engineTracer)(e)
+	} else {
+		e.Exec.Tracer = nil
+	}
+}
+
+var _ obs.Attacher = (*Engine)(nil)
+
+// engineTracer adapts the engine to vm.Tracer on a distinct type so the
+// tracing methods cannot be mistaken for part of the engine's public
+// surface.
+type engineTracer Engine
+
+var _ vm.Tracer = (*engineTracer)(nil)
+
+// TraceSuspend implements vm.Tracer.
+func (t *engineTracer) TraceSuspend(sv *vm.StateVal) {
+	e := (*Engine)(t)
+	e.obs.Emit(obs.Event{Kind: obs.KindSuspend, Node: int32(e.Node),
+		Block: int32(e.cur.block.ID), State: int32(sv.State)})
+}
+
+// TraceResume implements vm.Tracer.
+func (t *engineTracer) TraceResume(c *vm.Cont, direct bool) {
+	e := (*Engine)(t)
+	arg := int64(0)
+	if direct {
+		arg = 1
+	}
+	e.obs.Emit(obs.Event{Kind: obs.KindResume, Node: int32(e.Node),
+		Block: int32(e.cur.block.ID), State: int32(e.cur.block.State.State),
+		Site: int32(c.Site), Arg: arg})
+}
+
+// TraceContAlloc implements vm.Tracer.
+func (t *engineTracer) TraceContAlloc(c *vm.Cont) {
+	e := (*Engine)(t)
+	arg := int64(0)
+	if c.Heap {
+		arg = 1
+	}
+	e.obs.Emit(obs.Event{Kind: obs.KindContAlloc, Node: int32(e.Node),
+		Block: int32(e.cur.block.ID), State: int32(e.cur.block.State.State),
+		Site: int32(c.Site), Arg: arg})
+}
+
+// emitSend stamps m with a fresh flow id (correlating its later Deliver)
+// and emits the Send event. Called only with a sink attached.
+func (e *Engine) emitSend(m *Message, dst int) {
+	e.flowSeq++
+	m.flow = int64(e.Node+1)<<32 | e.flowSeq
+	arg := int64(0)
+	if m.Data {
+		arg = 1
+	}
+	e.obs.Emit(obs.Event{Kind: obs.KindSend, Node: int32(e.Node), Block: int32(m.ID),
+		State: -1, Msg: int32(m.Tag), Peer: int32(dst), Arg: arg, Flow: m.flow})
+}
+
+// ObsNames builds the render tables trace exporters use for a compiled
+// protocol.
+func ObsNames(p *Protocol) obs.Names {
+	sm := p.Sema()
+	n := obs.Names{
+		States:   make([]string, len(sm.States)),
+		Messages: make([]string, len(sm.Messages)),
+	}
+	for i, s := range sm.States {
+		n.States[i] = s.Name
+	}
+	for i, m := range sm.Messages {
+		n.Messages[i] = m.Name
+	}
+	return n
+}

@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"teapot/internal/obs"
 	"teapot/internal/runtime"
 	"teapot/internal/tempest"
 )
@@ -19,20 +20,40 @@ type Config struct {
 	MakeEngine func(m runtime.Machine) tempest.Engine
 	Program    tempest.Program
 	HomeOf     func(id int) int
+	// Obs, when non-nil, is attached to the engine (if it implements
+	// obs.Attacher) for the duration of the run. Sinks that implement
+	// obs.ClockSetter are driven by the machine's virtual clock.
+	Obs obs.Sink
 }
 
 // Run executes the workload to completion.
 func Run(cfg Config) (*tempest.Stats, error) {
+	prog := cfg.Program
+	if t, ok := prog.(*Trace); ok {
+		// Replay through a private cursor so a shared Workload trace is
+		// never consumed by one run and left mid-stream for the next.
+		prog = t.NewCursor()
+	}
 	tc := tempest.Config{
 		Nodes:   cfg.Nodes,
 		Blocks:  cfg.Blocks,
 		HomeOf:  cfg.HomeOf,
 		Cost:    cfg.Cost,
 		Tags:    cfg.Tags,
-		Program: cfg.Program,
+		Program: prog,
 	}
 	m := tempest.New(tc)
-	m.SetEngine(cfg.MakeEngine(m))
+	eng := cfg.MakeEngine(m)
+	m.SetEngine(eng)
+	if cfg.Obs != nil {
+		if cs, ok := cfg.Obs.(obs.ClockSetter); ok {
+			cs.SetClock(m.Now)
+		}
+		if a, ok := eng.(obs.Attacher); ok {
+			a.SetObs(cfg.Obs)
+			defer a.SetObs(nil)
+		}
+	}
 	return m.Run()
 }
 
@@ -49,13 +70,37 @@ func NewTrace(ops [][]tempest.Op) *Trace {
 	return &Trace{Ops: ops, pos: make([]int, len(ops))}
 }
 
-// Next implements tempest.Program.
+// Next implements tempest.Program. It advances the trace's own cursor;
+// callers that share one Trace across runs should prefer NewCursor.
 func (t *Trace) Next(node int) (tempest.Op, bool) {
 	if t.pos[node] >= len(t.Ops[node]) {
 		return tempest.Op{}, false
 	}
 	op := t.Ops[node][t.pos[node]]
 	t.pos[node]++
+	return op, true
+}
+
+// NewCursor returns an independent replay cursor over the trace. Cursors
+// share the immutable op streams but keep private positions, so
+// concurrent or back-to-back runs over one Workload never interfere.
+func (t *Trace) NewCursor() *TraceCursor {
+	return &TraceCursor{t: t, pos: make([]int, len(t.Ops))}
+}
+
+// TraceCursor is a private replay position over a shared Trace.
+type TraceCursor struct {
+	t   *Trace
+	pos []int
+}
+
+// Next implements tempest.Program.
+func (c *TraceCursor) Next(node int) (tempest.Op, bool) {
+	if c.pos[node] >= len(c.t.Ops[node]) {
+		return tempest.Op{}, false
+	}
+	op := c.t.Ops[node][c.pos[node]]
+	c.pos[node]++
 	return op, true
 }
 

@@ -1,0 +1,108 @@
+package sim_test
+
+import (
+	"testing"
+
+	"teapot/internal/obs"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/runtime"
+	"teapot/internal/sim"
+	"teapot/internal/tempest"
+)
+
+// TestRunDoesNotConsumeSharedTrace is the regression test for the shared
+// trace-cursor bug: Workload.Trace carries a mutable position, so a second
+// Run over the same Workload used to replay an empty stream and report a
+// trivially short (and wrong) run. Run must give each invocation its own
+// cursor.
+func TestRunDoesNotConsumeSharedTrace(t *testing.T) {
+	const nodes = 4
+	w := sim.Gauss(sim.WorkloadSpec{Nodes: nodes, Iters: 2, Seed: 7})
+	// Deliberately no w.Trace.Reset() between these runs.
+	s1 := runStache(t, w, nodes, "opt")
+	s2 := runStache(t, w, nodes, "opt")
+	if s1.Cycles != s2.Cycles || s1.Messages != s2.Messages || s1.Accesses != s2.Accesses {
+		t.Errorf("second run over a shared Workload diverged: (%d,%d,%d) vs (%d,%d,%d)",
+			s1.Cycles, s1.Messages, s1.Accesses, s2.Cycles, s2.Messages, s2.Accesses)
+	}
+	if s2.Accesses == 0 {
+		t.Error("second run saw an already-consumed trace")
+	}
+}
+
+// TestTraceCursorIndependence checks cursors do not share position state
+// with each other or with the trace's own cursor.
+func TestTraceCursorIndependence(t *testing.T) {
+	tr := sim.NewTrace([][]tempest.Op{{
+		{Kind: tempest.OpRead, Addr: 0},
+		{Kind: tempest.OpWrite, Addr: 0},
+	}})
+	c1, c2 := tr.NewCursor(), tr.NewCursor()
+	op1, ok := c1.Next(0)
+	if !ok || op1.Kind != tempest.OpRead {
+		t.Fatalf("c1 first op = %+v, %v", op1, ok)
+	}
+	op2, ok := c2.Next(0)
+	if !ok || op2.Kind != tempest.OpRead {
+		t.Errorf("c2 saw c1's position: %+v, %v", op2, ok)
+	}
+	if op, ok := tr.Next(0); !ok || op.Kind != tempest.OpRead {
+		t.Errorf("trace's own cursor moved by cursor reads: %+v, %v", op, ok)
+	}
+}
+
+// TestRunWithObsSink wires a collector through sim.Run and checks the
+// plumbing end to end: events arrive, timestamps follow the machine's
+// virtual clock, and observation does not change the simulation.
+func TestRunWithObsSink(t *testing.T) {
+	const nodes = 4
+	w := sim.Gauss(sim.WorkloadSpec{Nodes: nodes, Iters: 2, Seed: 7})
+	bare := runStache(t, w, nodes, "opt")
+
+	c := obs.NewCollector(0)
+	observed := runStacheObs(t, w, nodes, c)
+	if observed.Cycles != bare.Cycles || observed.Messages != bare.Messages {
+		t.Errorf("observation changed the run: (%d,%d) vs (%d,%d)",
+			observed.Cycles, observed.Messages, bare.Cycles, bare.Messages)
+	}
+	if c.Total() == 0 {
+		t.Fatal("sink saw no events")
+	}
+	if got := c.Count(obs.KindSend); got != bare.Messages {
+		t.Errorf("Send events = %d, machine counted %d messages", got, bare.Messages)
+	}
+	var lastTime int64 = -1
+	timed := false
+	for _, ev := range c.Events() {
+		if ev.Time < lastTime {
+			t.Fatalf("virtual time went backwards: %d after %d", ev.Time, lastTime)
+		}
+		lastTime = ev.Time
+		if ev.Time > 0 {
+			timed = true
+		}
+	}
+	if !timed {
+		t.Error("no event carries a nonzero virtual timestamp; clock not wired")
+	}
+}
+
+func runStacheObs(t *testing.T, w *sim.Workload, nodes int, sink obs.Sink) *tempest.Stats {
+	t.Helper()
+	proto := stache.MustCompile(true).Protocol
+	stats, err := sim.Run(sim.Config{
+		Nodes:  nodes,
+		Blocks: w.Blocks,
+		Cost:   tempest.DefaultCost,
+		Tags:   tempest.ResolveTags(proto),
+		MakeEngine: func(m runtime.Machine) tempest.Engine {
+			return tempest.NewTeapotEngine(proto, nodes, w.Blocks, m, stache.MustSupport(proto))
+		},
+		Program: w.Trace,
+		Obs:     sink,
+	})
+	if err != nil {
+		t.Fatalf("%s/obs: %v", w.Name, err)
+	}
+	return stats
+}

@@ -1,6 +1,7 @@
 package tempest
 
 import (
+	"teapot/internal/obs"
 	"teapot/internal/runtime"
 )
 
@@ -19,6 +20,13 @@ func NewTeapotEngine(p *runtime.Protocol, nodes, blocks int, m runtime.Machine, 
 		te.Engines = append(te.Engines, runtime.NewEngine(p, n, blocks, m, sup))
 	}
 	return te
+}
+
+// SetObs implements obs.Attacher by attaching s to every node's engine.
+func (te *TeapotEngine) SetObs(s obs.Sink) {
+	for _, e := range te.Engines {
+		e.SetObs(s)
+	}
 }
 
 // Deliver implements Engine.

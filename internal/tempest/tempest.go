@@ -244,6 +244,10 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// Now returns the machine's current virtual time in cycles. Event sinks
+// use it as a clock so trace timestamps line up with the cost model.
+func (m *Machine) Now() int64 { return m.now }
+
 // New builds a machine.
 func New(cfg Config) *Machine {
 	if cfg.HomeOf == nil {

@@ -71,6 +71,21 @@ func (c *Counters) Add(o Counters) {
 	c.Calls += o.Calls
 }
 
+// Tracer observes the continuation machinery from inside the interpreter:
+// the rare ops (Suspend, Resume, MakeCont) that the Host interface cannot
+// distinguish from ordinary effects. Installed by the runtime engine when
+// an observability sink is attached; nil costs one pointer test at those
+// ops only — never on the per-instruction path.
+type Tracer interface {
+	// TraceSuspend fires after a Suspend transitioned into sv.
+	TraceSuspend(sv *StateVal)
+	// TraceResume fires before control transfers into c. direct reports a
+	// constant-continuation (inlined) resume.
+	TraceResume(c *Cont, direct bool)
+	// TraceContAlloc fires when a continuation record is built.
+	TraceContAlloc(c *Cont)
+}
+
 // Exec interprets handlers of one compiled program.
 type Exec struct {
 	Prog     *ir.Program
@@ -80,6 +95,8 @@ type Exec struct {
 	ConstCont bool
 	// MaxSteps bounds one activation (runaway-loop guard); 0 = default.
 	MaxSteps int
+	// Tracer, when non-nil, observes Suspend/Resume/MakeCont.
+	Tracer Tracer
 }
 
 // DefaultMaxSteps bounds a single handler activation.
@@ -196,7 +213,13 @@ func (x *Exec) run(h Host, f *ir.Func, pc int, regs []Value) error {
 			if sv == nil {
 				return h.ProtocolError(fmt.Sprintf("suspend in %s to non-state value", f.Name))
 			}
-			return h.SetState(sv)
+			if err := h.SetState(sv); err != nil {
+				return err
+			}
+			if x.Tracer != nil {
+				x.Tracer.TraceSuspend(sv)
+			}
+			return nil
 		case ir.OpResume:
 			c := regs[in.A].Cont()
 			if c == nil {
@@ -206,6 +229,9 @@ func (x *Exec) run(h Host, f *ir.Func, pc int, regs []Value) error {
 				x.Counters.ConstResumes++
 			} else {
 				x.Counters.Resumes++
+			}
+			if x.Tracer != nil {
+				x.Tracer.TraceResume(c, in.Idx >= 0)
 			}
 			// Tail-transfer into the suspended handler.
 			f = c.Fn
@@ -271,7 +297,11 @@ func (x *Exec) makeCont(f *ir.Func, in *ir.Instr, regs []Value) Value {
 	} else {
 		x.Counters.StaticConts++
 	}
-	return ContVal(&Cont{Fn: f, Frag: in.Idx, Saved: saved, Site: site, Heap: heap})
+	c := &Cont{Fn: f, Frag: in.Idx, Saved: saved, Site: site, Heap: heap}
+	if x.Tracer != nil {
+		x.Tracer.TraceContAlloc(c)
+	}
+	return ContVal(c)
 }
 
 func (x *Exec) binop(h Host, in *ir.Instr, a, b Value) (Value, error) {

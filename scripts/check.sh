@@ -11,3 +11,12 @@ go test -race ./...
 # table, hammered explicitly under the race detector.
 go test -race -count=1 -run 'TestWorkerEquivalence|TestBuggyTraceIdenticalAcrossWorkers|TestShardedVisitedRace' ./internal/mc/
 go run ./cmd/teapot-vet ./internal/protocols/...
+# Observability smoke test: a traced sim run must produce a Chrome trace
+# that passes the schema check, and the checker must run with live
+# progress enabled.
+go vet ./internal/obs/ ./scripts/tracecheck/
+tmptrace="$(mktemp -t teapot-trace.XXXXXX.json)"
+trap 'rm -f "$tmptrace"' EXIT
+go run ./cmd/teapot-sim -workload gauss -nodes 4 -iters 2 -trace "$tmptrace" -stats >/dev/null
+go run ./scripts/tracecheck "$tmptrace"
+go run ./cmd/teapot-verify -protocol stache -progress=always >/dev/null

@@ -1,0 +1,42 @@
+// Tracecheck validates a Chrome trace_event JSON file against the subset
+// the obs exporter emits (scripts/check.sh runs it on a teapot-sim -trace
+// smoke run; it is also handy on traces mangled by hand or by filters).
+//
+// Usage:
+//
+//	tracecheck trace.json [trace2.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"teapot/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [...]")
+		os.Exit(1)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			bad = true
+			continue
+		}
+		err = obs.ValidateChromeTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
