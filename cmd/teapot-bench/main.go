@@ -52,6 +52,10 @@ func main() {
 		check(err)
 		fmt.Print(bench.FormatVerify(rows))
 		fmt.Println()
+		faultRows, err := bench.FaultSweep(*workers)
+		check(err)
+		fmt.Print(bench.FormatFaults(faultRows))
+		fmt.Println()
 		if *table == 3 && *mcOut != "" {
 			counts := []int{1}
 			if n := runtime.GOMAXPROCS(0); n > 1 {
@@ -61,7 +65,7 @@ func main() {
 			check(err)
 			obsRows, err := bench.ObsBench(8, 3)
 			check(err)
-			data, err := json.MarshalIndent(bench.MCBaseline{MC: mcRows, Obs: obsRows}, "", "  ")
+			data, err := json.MarshalIndent(bench.MCBaseline{MC: mcRows, Obs: obsRows, Faults: faultRows}, "", "  ")
 			check(err)
 			check(os.WriteFile(*mcOut, append(data, '\n'), 0o644))
 			fmt.Printf("checker throughput + obs baseline written to %s (workers %v)\n\n", *mcOut, counts)

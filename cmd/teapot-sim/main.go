@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"teapot/internal/cliflags"
 	"teapot/internal/obs"
 	"teapot/internal/protocols/lcm"
 	"teapot/internal/protocols/stache"
@@ -25,9 +26,11 @@ func main() {
 		workload  = flag.String("workload", "gauss", "gauss | appbt | shallow | mp3d | adaptive | stencil | unstruct | prodcons")
 		nodes     = flag.Int("nodes", 32, "number of nodes")
 		iters     = flag.Int("iters", 4, "workload iterations")
-		engine    = flag.String("engine", "opt", "hw (hand-written) | unopt | opt")
+		engine    = flag.String("engine", "opt", "hw (hand-written) | unopt | opt | ft (fault-tolerant Stache; the one to pair with -net)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (open in about:tracing or ui.perfetto.dev)")
 		showStats = flag.Bool("stats", false, "print the observability event summary after the run")
+		seed      = flag.Uint64("seed", 1, "fault-injection RNG seed (same -net and -seed: same run)")
+		net       = cliflags.AddNet(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -60,7 +63,17 @@ func main() {
 	var mk func(m runtime.Machine) tempest.Engine
 	var tags tempest.EventTags
 	var proto *runtime.Protocol
-	if isLCM {
+	if *engine == "ft" {
+		if isLCM {
+			fatal(fmt.Errorf("-engine ft is the fault-tolerant Stache; the LCM workloads have no fault-tolerant variant"))
+		}
+		p := stache.MustCompileFT(true).Protocol
+		proto = p
+		tags = tempest.ResolveTags(p)
+		mk = func(m runtime.Machine) tempest.Engine {
+			return tempest.NewTeapotEngine(p, *nodes, w.Blocks, m, stache.MustFTSupport(p, *nodes))
+		}
+	} else if isLCM {
 		p := lcm.MustCompile(lcm.Base, optimize).Protocol
 		proto = p
 		tags = tempest.ResolveTags(p)
@@ -95,6 +108,7 @@ func main() {
 		Cost: tempest.DefaultCost, Tags: tags,
 		MakeEngine: mk, Program: w.Trace,
 		Obs: sinkOrNil(col),
+		Net: net.Model, Seed: *seed,
 	})
 	if err != nil {
 		fatal(err)
@@ -116,6 +130,10 @@ func main() {
 	fmt.Printf("workload %s (%d nodes, %d blocks, engine %s)\n", w.Name, *nodes, w.Blocks, *engine)
 	fmt.Printf("  execution time: %d cycles\n", stats.Cycles)
 	fmt.Printf("  accesses: %d   faults: %d   messages: %d\n", stats.Accesses, stats.Faults, stats.Messages)
+	if net.Model.Active() {
+		fmt.Printf("  network (%s, seed %d): %d dropped, %d duplicated, %d delayed; %d timeouts fired\n",
+			net.Model, *seed, stats.Drops, stats.Dups, stats.Delays, stats.Timeouts)
+	}
 	fmt.Printf("  fault time: %d cycles (%.0f%% of node-cycles)\n", stats.FaultTime,
 		100*float64(stats.FaultTime)/float64(stats.Cycles*int64(*nodes)))
 	fmt.Printf("  protocol: %d handlers, %d statements, %d cycles\n",

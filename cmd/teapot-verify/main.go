@@ -4,8 +4,10 @@
 //
 // Usage:
 //
-//	teapot-verify -protocol stache -nodes 2 -blocks 1 -reorder 1
-//	teapot-verify -protocol stache-buggy        # finds the seeded deadlock
+//	teapot-verify -proto stache -nodes 2 -blocks 1 -net reorder=1
+//	teapot-verify -proto stache -net drop=1       # found: lost-message stall
+//	teapot-verify -proto stache-ft -net drop=1,dup=1
+//	teapot-verify -proto stache-buggy             # finds the seeded deadlock
 package main
 
 import (
@@ -14,35 +16,46 @@ import (
 	"os"
 	"runtime/pprof"
 
+	"teapot/internal/cliflags"
 	"teapot/internal/mc"
-	"teapot/internal/protocols/bufwrite"
-	"teapot/internal/protocols/lcm"
-	"teapot/internal/protocols/stache"
-	"teapot/internal/protocols/update"
 )
 
 func main() {
+	run := cliflags.AddRun(flag.CommandLine, "stache", 2, 1)
 	var (
-		protocol = flag.String("protocol", "stache", "stache | stache-buggy | bufwrite | lcm | lcm-mcc | update")
-		nodes    = flag.Int("nodes", 2, "number of nodes")
-		blocks   = flag.Int("blocks", 1, "number of shared blocks")
-		reorder  = flag.Int("reorder", 1, "network reordering bound")
 		maxState = flag.Int("max-states", 0, "abort after exploring this many states (0 = unlimited)")
-		workers  = flag.Int("workers", 0, "BFS worker goroutines (0 = GOMAXPROCS)")
 		progress = flag.String("progress", "auto", "live per-layer progress on stderr: auto (only when stderr is a terminal) | always | never")
 		stats    = flag.Bool("stats", false, "print a final exploration stats block")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
+
+		// Deprecated aliases, kept one release: -protocol for -proto and
+		// -reorder for -net reorder=N.
+		protocol = flag.String("protocol", "", "deprecated alias for -proto")
+		reorder  = flag.Int("reorder", 0, "deprecated alias for -net reorder=N (the larger wins)")
 	)
 	flag.Parse()
 
-	cfg, err := configFor(*protocol, *nodes, *blocks, *reorder)
+	if *protocol != "" {
+		*run.Proto = *protocol
+	}
+	if *reorder > run.Net.Model.Reorder {
+		run.Net.Model.Reorder = *reorder
+	}
+	// Historical default: with no network flags at all, verify under
+	// "1 reordering max" (the paper's configuration).
+	given := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { given[f.Name] = true })
+	if !given["net"] && !given["reorder"] {
+		run.Net.Model.Reorder = 1
+	}
+
+	spec, err := run.Spec()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "teapot-verify:", err)
 		os.Exit(1)
 	}
-	cfg.MaxStates = *maxState
-	cfg.Workers = *workers
+	spec.MaxStates = *maxState
 
 	switch *progress {
 	case "always", "auto", "never":
@@ -52,7 +65,7 @@ func main() {
 	}
 	if *progress == "always" || (*progress == "auto" && stderrIsTerminal()) {
 		pw := &mc.ProgressWriter{W: os.Stderr}
-		cfg.Progress = pw.Report
+		spec.Progress = pw.Report
 	}
 
 	if *cpuProf != "" {
@@ -67,7 +80,7 @@ func main() {
 		}
 	}
 
-	res, err := mc.Check(cfg)
+	res, err := mc.Check(spec.MCConfig())
 	if *cpuProf != "" {
 		// Stopped explicitly: the violation path exits with a nonzero
 		// status, which would skip a deferred stop.
@@ -91,8 +104,12 @@ func main() {
 		f.Close()
 	}
 
-	fmt.Printf("protocol %s: %d states, %d transitions, depth %d, %d workers, %s\n",
-		*protocol, res.States, res.Transitions, res.MaxDepth, res.Workers, res.Elapsed)
+	net := ""
+	if s := spec.Net.String(); s != "" {
+		net = fmt.Sprintf(", net %s", s)
+	}
+	fmt.Printf("protocol %s: %d states, %d transitions, depth %d, %d workers%s, %s\n",
+		*run.Proto, res.States, res.Transitions, res.MaxDepth, res.Workers, net, res.Elapsed)
 	if *stats {
 		rate := 0.0
 		if s := res.Elapsed.Seconds(); s > 0 {
@@ -125,48 +142,4 @@ func stderrIsTerminal() bool {
 		return false
 	}
 	return fi.Mode()&os.ModeCharDevice != 0
-}
-
-func configFor(name string, nodes, blocks, reorder int) (mc.Config, error) {
-	base := mc.Config{Nodes: nodes, Blocks: blocks, Reorder: reorder, CheckCoherence: true}
-	switch name {
-	case "stache":
-		a := stache.MustCompile(true)
-		base.Proto = a.Protocol
-		base.Support = stache.MustSupport(a.Protocol)
-		base.Events = stache.NewEvents(a.Protocol)
-	case "stache-buggy":
-		p, err := stache.CompileBuggy()
-		if err != nil {
-			return base, err
-		}
-		base.Proto = p
-		base.Support = stache.MustSupport(p)
-		base.Events = stache.NewEvents(p)
-	case "bufwrite":
-		a := bufwrite.MustCompile(true)
-		base.Proto = a.Protocol
-		base.Support = bufwrite.MustSupport(a.Protocol)
-		base.Events = bufwrite.NewEvents(a.Protocol)
-	case "lcm":
-		a := lcm.MustCompile(lcm.Base, true)
-		base.Proto = a.Protocol
-		base.Support = lcm.MustSupport(a.Protocol, nodes)
-		base.Events = lcm.NewEvents(a.Protocol)
-		base.CheckCoherence = false // LCM phases are deliberately inconsistent
-	case "update":
-		a := update.MustCompile(true)
-		base.Proto = a.Protocol
-		base.Support = update.MustSupport(a.Protocol)
-		base.Events = update.NewEvents(a.Protocol)
-	case "lcm-mcc":
-		a := lcm.MustCompile(lcm.MCC, true)
-		base.Proto = a.Protocol
-		base.Support = lcm.MustSupport(a.Protocol, nodes)
-		base.Events = lcm.NewEvents(a.Protocol)
-		base.CheckCoherence = false
-	default:
-		return base, fmt.Errorf("unknown protocol %q", name)
-	}
-	return base, nil
 }

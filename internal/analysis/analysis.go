@@ -35,6 +35,10 @@
 //	vet:cont-alloc     heap-allocated continuation records that save only
 //	                   compile-time constants (Table 1's allocation-count
 //	                   optimization, surfaced as an actionable diagnostic)
+//	vet:timeout        transient states that block on a droppable message
+//	                   without the explicit TIMEOUT handler the runtimes
+//	                   require to arm a recovery timer (advisory when the
+//	                   protocol declares no TIMEOUT at all)
 package analysis
 
 import (
@@ -68,6 +72,7 @@ var Passes = []*Pass{
 	{ID: "dead-store", Doc: "no pure instruction computes a value that is never used", Run: runDeadStore},
 	{ID: "unassigned", Doc: "no register is read before any path writes it", Run: runUnassigned},
 	{ID: "cont-alloc", Doc: "heap continuation records do not save only rematerializable constants", Run: runCostLint},
+	{ID: "timeout", Doc: "transient states of a TIMEOUT-declaring protocol have explicit TIMEOUT handlers", Run: runTimeout},
 }
 
 // Report is the outcome of a vet run: findings sorted by file, position,

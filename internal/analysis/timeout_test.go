@@ -1,0 +1,78 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"teapot/internal/source"
+)
+
+// A protocol declaring TIMEOUT must give every reachable transient state an
+// explicit TIMEOUT handler; B has one, D does not.
+func TestTimeoutUncoveredTransient(t *testing.T) {
+	rep := vet(t, `
+protocol P begin
+  state A(); state B(C : CONT) transient; state D(C : CONT) transient;
+  message GO; message GO2; message OK; message TIMEOUT;
+end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Suspend(L, B{L}); end;
+  message GO2 (id : ID; var info : INFO; src : NODE) begin Suspend(L, D{L}); end;
+`+defaultDrop+`end;
+state P.B(C : CONT) begin
+  message OK (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+  message TIMEOUT (id : ID; var info : INFO; src : NODE) begin Send(src, GO, id); end;
+`+defaultDrop+`end;
+state P.D(C : CONT) begin
+  message OK (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+`+defaultDrop+`end;
+`)
+	ds := rep.ByCheck("timeout")
+	if len(ds) != 1 {
+		t.Fatalf("timeout findings = %d, report:\n%s", len(ds), rep)
+	}
+	if d := ds[0]; d.Severity != source.SevWarning || !strings.Contains(d.Msg, "D") {
+		t.Errorf("finding = %v", d)
+	}
+}
+
+// Without a TIMEOUT declaration the pass is advisory: one info finding
+// counting the transient states, never a warning.
+func TestTimeoutAdvisoryWithoutDeclaration(t *testing.T) {
+	rep := vet(t, `
+protocol P begin
+  state A(); state B(C : CONT) transient;
+  message GO; message OK;
+end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Suspend(L, B{L}); end;
+`+defaultDrop+`end;
+state P.B(C : CONT) begin
+  message OK (id : ID; var info : INFO; src : NODE) begin Resume(C); end;
+`+defaultDrop+`end;
+`)
+	ds := rep.ByCheck("timeout")
+	if len(ds) != 1 {
+		t.Fatalf("timeout findings = %d, report:\n%s", len(ds), rep)
+	}
+	if d := ds[0]; d.Severity != source.SevInfo || !strings.Contains(d.Msg, "1 transient state") {
+		t.Errorf("finding = %v", d)
+	}
+	if len(rep.Actionable()) != 0 {
+		t.Errorf("advisory finding must not be actionable, report:\n%s", rep)
+	}
+}
+
+// A protocol with no transient states has nothing to time out: no finding
+// either way.
+func TestTimeoutNoTransientStates(t *testing.T) {
+	rep := vet(t, `
+protocol P begin state A(); message GO; end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin Drop(); end;
+`+defaultDrop+`end;
+`)
+	if ds := rep.ByCheck("timeout"); len(ds) != 0 {
+		t.Fatalf("timeout findings = %v, report:\n%s", ds, rep)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"teapot/internal/core"
 	"teapot/internal/dot"
 	"teapot/internal/mc"
+	"teapot/internal/netmodel"
 	"teapot/internal/obs"
 	"teapot/internal/protocols/bufwrite"
 	"teapot/internal/protocols/lcm"
@@ -365,8 +366,99 @@ func ObsBench(nodes, iters int) ([]ObsRow, error) {
 // MCBaseline is the committed BENCH_mc.json document: checker throughput
 // rows plus the observability-layer cost rows.
 type MCBaseline struct {
-	MC  []MCRow  `json:"mc"`
-	Obs []ObsRow `json:"obs"`
+	MC     []MCRow    `json:"mc"`
+	Obs    []ObsRow   `json:"obs"`
+	Faults []FaultRow `json:"faults"`
+}
+
+// FaultRow is one fault-budget verification record in the `faults` series
+// of BENCH_mc.json: how the explored state space grows with the network
+// fault budget.
+type FaultRow struct {
+	Protocol    string  `json:"protocol"`
+	Net         string  `json:"net"`
+	States      int     `json:"states"`
+	Transitions int     `json:"transitions"`
+	Depth       int     `json:"depth"`
+	WallMS      float64 `json:"wall_ms"`
+	Violation   string  `json:"violation,omitempty"`
+}
+
+// FaultSweep checks the fault-tolerant Stache at 2 nodes / 1 block across
+// network fault budgets, plus two deliberate edge rows: dup=2, where the
+// recorded violation marks the verified envelope of an epoch-less protocol
+// (a second duplicate lets a stale ack substitute for a fresh one — only
+// per-message sequence numbers could tell them apart), and the base Stache
+// under a single drop, whose recorded violation documents why the TIMEOUT
+// machinery exists.
+func FaultSweep(workers int) ([]FaultRow, error) {
+	type run struct {
+		name, proto, net string
+	}
+	runs := []run{
+		{"Stache-FT", "stache-ft", ""},
+		{"Stache-FT", "stache-ft", "reorder=1"},
+		{"Stache-FT", "stache-ft", "drop=1"},
+		{"Stache-FT", "stache-ft", "dup=1"},
+		{"Stache-FT", "stache-ft", "drop=1,dup=1"},
+		{"Stache-FT", "stache-ft", "drop=2,dup=1"},
+		{"Stache-FT", "stache-ft", "dup=2"},
+		{"Stache", "stache", "drop=1"},
+	}
+	var rows []FaultRow
+	for _, r := range runs {
+		net, err := netmodel.Parse(r.net)
+		if err != nil {
+			return nil, err
+		}
+		var cfg mc.Config
+		switch r.proto {
+		case "stache-ft":
+			a := stache.MustCompileFT(true)
+			cfg = mc.Config{Proto: a.Protocol, Support: stache.MustFTSupport(a.Protocol, 2),
+				Events: stache.NewEvents(a.Protocol)}
+		default:
+			a := stache.MustCompile(true)
+			cfg = mc.Config{Proto: a.Protocol, Support: stache.MustSupport(a.Protocol),
+				Events: stache.NewEvents(a.Protocol)}
+		}
+		cfg.Nodes, cfg.Blocks, cfg.Net, cfg.Workers = 2, 1, net, workers
+		cfg.CheckCoherence = true
+		res, err := mc.Check(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s net=%q: %w", r.name, r.net, err)
+		}
+		netLabel := r.net
+		if netLabel == "" {
+			netLabel = "none"
+		}
+		row := FaultRow{
+			Protocol: r.name, Net: netLabel,
+			States: res.States, Transitions: res.Transitions, Depth: res.MaxDepth,
+			WallMS: float64(res.Elapsed) / float64(time.Millisecond),
+		}
+		if res.Violation != nil {
+			row.Violation = res.Violation.Kind
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFaults renders the fault sweep as a table.
+func FormatFaults(rows []FaultRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault sweep: state-space growth vs. network fault budget (2 nodes, 1 block)\n")
+	fmt.Fprintf(&b, "%-10s %-14s %9s %12s %6s  %s\n", "protocol", "net", "states", "transitions", "depth", "result")
+	for _, r := range rows {
+		result := "verified"
+		if r.Violation != "" {
+			result = "VIOLATION " + r.Violation
+		}
+		fmt.Fprintf(&b, "%-10s %-14s %9d %12d %6d  %s\n",
+			r.Protocol, r.Net, r.States, r.Transitions, r.Depth, result)
+	}
+	return b.String()
 }
 
 // ReorderSweep verifies Stache across reordering bounds (the paper:

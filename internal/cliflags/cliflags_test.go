@@ -1,0 +1,61 @@
+package cliflags
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+
+	"teapot/internal/netmodel"
+	"teapot/internal/protocols"
+)
+
+// TestRunnableNamesInSync: the static help list must be exactly the set of
+// registry entries protocols.Spec accepts, in registry order.
+func TestRunnableNamesInSync(t *testing.T) {
+	var want []string
+	for _, e := range protocols.All() {
+		if _, err := protocols.Spec(e.Name, 2, 1); err == nil {
+			want = append(want, e.Name)
+		}
+	}
+	if got := RunnableNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("RunnableNames() = %v, want %v", got, want)
+	}
+}
+
+func TestNetFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	n := AddNet(fs)
+	if err := fs.Parse([]string{"-net", "drop=1,dup=2,reorder=1"}); err != nil {
+		t.Fatal(err)
+	}
+	want := netmodel.Model{MaxDrops: 1, MaxDups: 2, Reorder: 1}
+	if n.Model != want {
+		t.Errorf("parsed %+v, want %+v", n.Model, want)
+	}
+	if err := fs.Parse([]string{"-net", "bogus=1"}); err == nil {
+		t.Error("bad -net value accepted")
+	}
+}
+
+func TestRunSpec(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	r := AddRun(fs, "stache", 2, 1)
+	if err := fs.Parse([]string{"-proto", "stache-ft", "-net", "drop=1", "-workers", "3", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := r.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Proto == nil || spec.Support == nil || spec.Events == nil {
+		t.Fatal("spec missing protocol wiring")
+	}
+	if spec.Net.MaxDrops != 1 || spec.Workers != 3 || spec.Seed != 9 {
+		t.Errorf("flags not threaded: %+v", spec)
+	}
+	*r.Proto = "no-such-proto"
+	if _, err := r.Spec(); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"teapot/internal/mc"
+	"teapot/internal/netmodel"
+	"teapot/internal/obs"
+	"teapot/internal/runtime"
+	"teapot/internal/sim"
+	"teapot/internal/tempest"
+)
+
+// RunSpec describes one protocol run, shared by both backends: Check
+// explores it exhaustively with the model checker, Simulate executes it on
+// the discrete-event machine. The network fault model is a single value
+// with one meaning everywhere — the checker explores its faults
+// nondeterministically within the budgets, the simulator injects them
+// stochastically from Seed — so "-net drop=1,dup=1" names the same network
+// to every tool.
+type RunSpec struct {
+	Proto   *runtime.Protocol
+	Support runtime.Support
+	// Events generates the processor events (read/write faults) the
+	// checker injects; ignored by Simulate, which drives the engine from
+	// Program instead.
+	Events mc.EventGen
+	// Codec is only needed by protocols that snapshot abstract values.
+	Codec runtime.AbstractCodec
+
+	Nodes  int
+	Blocks int
+	HomeOf func(id int) int // default: id % Nodes
+
+	// Net is the network fault model (netmodel.Parse understands the
+	// "drop=1,dup=1,reorder=2" flag syntax).
+	Net netmodel.Model
+
+	// Checker knobs.
+	Workers        int // BFS goroutines (0 = GOMAXPROCS)
+	CheckCoherence bool
+	MaxStates      int // 0 = unlimited
+	Progress       func(mc.ProgressInfo)
+
+	// Simulator knobs.
+	Seed    uint64 // fault-injection RNG seed
+	Program tempest.Program
+	Cost    tempest.CostModel // zero value: tempest.DefaultCost
+	Obs     obs.Sink
+}
+
+// MCConfig lowers the spec to a checker configuration.
+func (s RunSpec) MCConfig() mc.Config {
+	return mc.Config{
+		Proto:          s.Proto,
+		Support:        s.Support,
+		Codec:          s.Codec,
+		Nodes:          s.Nodes,
+		Blocks:         s.Blocks,
+		HomeOf:         s.HomeOf,
+		Net:            s.Net,
+		Events:         s.Events,
+		Workers:        s.Workers,
+		CheckCoherence: s.CheckCoherence,
+		MaxStates:      s.MaxStates,
+		Progress:       s.Progress,
+	}
+}
+
+// SimConfig lowers the spec to a simulator configuration, building the
+// engine from Proto and Support.
+func (s RunSpec) SimConfig() sim.Config {
+	if s.Cost == (tempest.CostModel{}) {
+		s.Cost = tempest.DefaultCost
+	}
+	return sim.Config{
+		Nodes:  s.Nodes,
+		Blocks: s.Blocks,
+		HomeOf: s.HomeOf,
+		Cost:   s.Cost,
+		Tags:   tempest.ResolveTags(s.Proto),
+		MakeEngine: func(m runtime.Machine) tempest.Engine {
+			return tempest.NewTeapotEngine(s.Proto, s.Nodes, s.Blocks, m, s.Support)
+		},
+		Program: s.Program,
+		Obs:     s.Obs,
+		Net:     s.Net,
+		Seed:    s.Seed,
+	}
+}
+
+// Check model-checks the spec.
+func Check(spec RunSpec) (*mc.Result, error) {
+	return mc.Check(spec.MCConfig())
+}
+
+// Simulate executes the spec's workload on the discrete-event machine.
+func Simulate(spec RunSpec) (*tempest.Stats, error) {
+	return sim.Run(spec.SimConfig())
+}

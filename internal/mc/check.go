@@ -26,6 +26,12 @@ import (
 // count.
 func Check(cfg Config) (*Result, error) {
 	cfg.normalize()
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Net.MaxCorrupts > 0 && cfg.nackTag < 0 {
+		return nil, fmt.Errorf("mc: Net corrupt=%d but the protocol declares no NACK message to bounce corrupted tags with", cfg.Net.MaxCorrupts)
+	}
 	start := time.Now()
 	res := &Result{Workers: cfg.Workers}
 
@@ -250,6 +256,11 @@ func buildViolation(cfg *Config, vt *visitedTable, layer []int32, c *candidate) 
 	return &Violation{Kind: c.kind, Msg: c.msg, Trace: steps}, nil
 }
 
+// describeStall renders a deadlock. When messages were dropped on the path
+// here it says so: a stall behind an empty network with spent drop budget
+// is (almost always) a lost message the protocol has no TIMEOUT recovery
+// for, which deserves a different diagnosis than a genuine protocol
+// deadlock reachable on a perfect network.
 func describeStall(w *World) string {
 	var stuck []string
 	for n, b := range w.stalled {
@@ -259,5 +270,9 @@ func describeStall(w *World) string {
 		}
 	}
 	sort.Strings(stuck)
-	return "network empty, " + strings.Join(stuck, "; ")
+	prefix := "network empty, "
+	if w.drops > 0 {
+		prefix = fmt.Sprintf("network empty after %d dropped message(s) — a lost message with no TIMEOUT recovery, not a fault-free protocol deadlock; ", w.drops)
+	}
+	return prefix + strings.Join(stuck, "; ")
 }

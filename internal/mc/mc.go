@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"teapot/internal/netmodel"
 	"teapot/internal/runtime"
 	"teapot/internal/sema"
 	"teapot/internal/vm"
@@ -39,9 +40,20 @@ type Config struct {
 	Blocks int
 	HomeOf func(id int) int // default: id % Nodes
 
+	// Net is the network fault model. The checker explores its faults
+	// nondeterministically: every in-flight message is a drop / duplicate /
+	// corrupt candidate while the corresponding budget lasts, and delivery
+	// may overtake up to Net.EffectiveReorder() earlier messages. The spent
+	// budgets are part of the canonical state, so exploration stays finite
+	// and deterministic for any worker count.
+	Net netmodel.Model
+
 	// Reorder bounds network reordering: a delivery may overtake at most
 	// Reorder earlier messages in its channel (0 = in-order, the paper
 	// verified with "1 reordering max").
+	//
+	// Deprecated: this is an alias for Net.Reorder, kept for one release so
+	// existing callers compile. normalize merges the two (the larger wins).
 	Reorder int
 
 	Events EventGen
@@ -63,6 +75,11 @@ type Config struct {
 	// back into the checker. Installing it never changes what the run
 	// computes: every Result figure stays bit-identical.
 	Progress func(ProgressInfo)
+
+	// Resolved by normalize: message tags for the TIMEOUT pseudo-message and
+	// NACK (-1 when the protocol does not declare them).
+	timeoutTag int
+	nackTag    int
 }
 
 // ProgressInfo is one layer-barrier snapshot handed to Config.Progress.
@@ -104,6 +121,18 @@ func (cfg *Config) normalize() {
 	if cfg.HomeOf == nil {
 		nodes := cfg.Nodes
 		cfg.HomeOf = func(id int) int { return id % nodes }
+	}
+	// Merge the deprecated Reorder alias into the fault model (larger wins),
+	// then keep the alias in sync so old readers see the effective value.
+	if cfg.Reorder > cfg.Net.Reorder {
+		cfg.Net.Reorder = cfg.Reorder
+	}
+	cfg.Reorder = cfg.Net.Reorder
+	cfg.timeoutTag = -1
+	cfg.nackTag = -1
+	if cfg.Proto != nil {
+		cfg.timeoutTag = cfg.Proto.MsgIndex("TIMEOUT")
+		cfg.nackTag = cfg.Proto.MsgIndex("NACK")
 	}
 	if cfg.ChannelCap == 0 {
 		cfg.ChannelCap = 12
@@ -181,8 +210,22 @@ type World struct {
 	access   []sema.AccessMode    // [node*Blocks+block]
 	stalled  []int                // per node: block stalled on, or -1
 
+	// Spent fault budgets (Config.Net). Part of the canonical encoding:
+	// two worlds that differ only in how many faults it took to reach them
+	// are different states, which keeps the search finite under budgets and
+	// the trace replay exact. With all budgets 0 they stay constant and the
+	// state count matches a fault-free run.
+	drops    int
+	dups     int
+	corrupts int
+
 	sendErr error
 }
+
+// Drops returns how many messages have been dropped on the path to this
+// world (the deadlock reporter uses it to tell a lost-message stall from a
+// genuine protocol deadlock).
+func (w *World) Drops() int { return w.drops }
 
 // StateName returns the protocol state name of (node, block).
 func (w *World) StateName(node, block int) string {
@@ -309,6 +352,9 @@ func (w *World) encode() (string, error) {
 	for _, s := range w.stalled {
 		enc.Int(int64(s))
 	}
+	enc.Int(int64(w.drops))
+	enc.Int(int64(w.dups))
+	enc.Int(int64(w.corrupts))
 	return string(enc.Bytes()), nil
 }
 
@@ -338,49 +384,111 @@ func (cfg *Config) decode(key string) (*World, error) {
 	for i := range w.stalled {
 		w.stalled[i] = int(d.Int())
 	}
+	w.drops = int(d.Int())
+	w.dups = int(d.Int())
+	w.corrupts = int(d.Int())
 	return w, nil
 }
 
+// actKind classifies an action. Deliveries and faults act on a channel
+// position; events and timeouts act on a (node, block).
+type actKind uint8
+
+const (
+	actDeliver actKind = iota
+	actDrop            // remove the message — lost by the network
+	actDup             // insert a copy right behind the original
+	actCorrupt         // bounce back to the sender as a NACK
+	actEvent
+	actTimeout
+)
+
 // action is one outgoing transition from a state.
 type action struct {
-	deliver  bool
+	kind     actKind
 	from, to int
-	idx      int // position within the channel (≤ Reorder)
+	idx      int // position within the channel (≤ EffectiveReorder for deliveries)
 	node     int
 	block    int
 	event    Event
 }
 
+func (w *World) msgName(tag int) string {
+	if sm := w.cfg.Proto.Sema(); tag >= 0 && tag < len(sm.Messages) {
+		return sm.Messages[tag].Name
+	}
+	return fmt.Sprintf("msg%d", tag)
+}
+
 func (w *World) describe(a action) string {
-	if a.deliver {
+	switch a.kind {
+	case actDeliver:
 		m := w.channels[a.from*w.cfg.Nodes+a.to][a.idx]
-		name := fmt.Sprintf("msg%d", m.Tag)
-		if sm := w.cfg.Proto.Sema(); m.Tag >= 0 && m.Tag < len(sm.Messages) {
-			name = sm.Messages[m.Tag].Name
-		}
 		pos := ""
 		if a.idx > 0 {
 			pos = fmt.Sprintf(" (overtaking %d)", a.idx)
 		}
 		return fmt.Sprintf("deliver %s blk%d node%d->node%d%s [dst state %s]",
-			name, m.ID, a.from, a.to, pos, w.StateName(a.to, m.ID))
+			w.msgName(m.Tag), m.ID, a.from, a.to, pos, w.StateName(a.to, m.ID))
+	case actDrop:
+		m := w.channels[a.from*w.cfg.Nodes+a.to][a.idx]
+		return fmt.Sprintf("DROP %s blk%d node%d->node%d (lost by network)",
+			w.msgName(m.Tag), m.ID, a.from, a.to)
+	case actDup:
+		m := w.channels[a.from*w.cfg.Nodes+a.to][a.idx]
+		return fmt.Sprintf("DUPLICATE %s blk%d node%d->node%d",
+			w.msgName(m.Tag), m.ID, a.from, a.to)
+	case actCorrupt:
+		m := w.channels[a.from*w.cfg.Nodes+a.to][a.idx]
+		return fmt.Sprintf("CORRUPT %s blk%d node%d->node%d (bounced to sender as NACK)",
+			w.msgName(m.Tag), m.ID, a.from, a.to)
+	case actTimeout:
+		return fmt.Sprintf("TIMEOUT blk%d at node%d [state %s]",
+			a.block, a.node, w.StateName(a.node, a.block))
 	}
 	return fmt.Sprintf("event %s blk%d at node%d [state %s]",
 		a.event.Name, a.block, a.node, w.StateName(a.node, a.block))
 }
 
-// actions enumerates every transition enabled in w.
+// actions enumerates every transition enabled in w. Order is a pure
+// function of the world state: deliveries, then drops / dups / corrupts
+// (while their budgets last), then processor events, then timeouts — the
+// determinism contract (worker-count-independent traces) depends on it.
 func (w *World) actions() []action {
 	var out []action
 	for from := 0; from < w.cfg.Nodes; from++ {
 		for to := 0; to < w.cfg.Nodes; to++ {
 			ch := w.channels[from*w.cfg.Nodes+to]
-			limit := w.cfg.Reorder
+			limit := w.cfg.Net.EffectiveReorder()
 			if limit > len(ch)-1 {
 				limit = len(ch) - 1
 			}
 			for i := 0; i <= limit; i++ {
-				out = append(out, action{deliver: true, from: from, to: to, idx: i})
+				out = append(out, action{kind: actDeliver, from: from, to: to, idx: i})
+			}
+		}
+	}
+	// Faults target any in-flight position, not just the reorder window:
+	// loss, duplication and corruption are independent of delivery order.
+	// Fixed enumeration order (drop, dup, corrupt) — action ordinals must be
+	// a pure function of the world state.
+	for _, f := range [...]struct {
+		kind   actKind
+		budget bool
+	}{
+		{actDrop, w.drops < w.cfg.Net.MaxDrops},
+		{actDup, w.dups < w.cfg.Net.MaxDups},
+		{actCorrupt, w.corrupts < w.cfg.Net.MaxCorrupts},
+	} {
+		if !f.budget {
+			continue
+		}
+		kind := f.kind
+		for from := 0; from < w.cfg.Nodes; from++ {
+			for to := 0; to < w.cfg.Nodes; to++ {
+				for i := range w.channels[from*w.cfg.Nodes+to] {
+					out = append(out, action{kind: kind, from: from, to: to, idx: i})
+				}
 			}
 		}
 	}
@@ -388,7 +496,16 @@ func (w *World) actions() []action {
 		for n := 0; n < w.cfg.Nodes; n++ {
 			for b := 0; b < w.cfg.Blocks; b++ {
 				for _, ev := range w.cfg.Events.Enabled(w, n, b) {
-					out = append(out, action{node: n, block: b, event: ev})
+					out = append(out, action{kind: actEvent, node: n, block: b, event: ev})
+				}
+			}
+		}
+	}
+	if w.cfg.timeoutTag >= 0 && w.cfg.Net.Active() {
+		for n := 0; n < w.cfg.Nodes; n++ {
+			for b := 0; b < w.cfg.Blocks; b++ {
+				if w.timeoutEnabled(n, b) {
+					out = append(out, action{kind: actTimeout, node: n, block: b})
 				}
 			}
 		}
@@ -396,13 +513,95 @@ func (w *World) actions() []action {
 	return out
 }
 
+// timeoutEnabled reports whether the TIMEOUT pseudo-message may fire for
+// (node, block): the block's current state declares an *explicit* TIMEOUT
+// handler (a DEFAULT fallback is not a timer), and firing now cannot race
+// progress that is already guaranteed — no message for this block is
+// inbound to the node, and none of the node's own traffic for it is still
+// in flight or parked in a deferred queue. In a fault-free run those
+// conditions never hold simultaneously in a waiting state, so timeouts add
+// zero transitions unless something was actually lost.
+func (w *World) timeoutEnabled(node, block int) bool {
+	st := w.engines[node].Blocks[block].State.State
+	if w.cfg.Proto.IR.HandlerFunc[st][w.cfg.timeoutTag] == nil {
+		return false
+	}
+	for ch, msgs := range w.channels {
+		to := ch % w.cfg.Nodes
+		for _, m := range msgs {
+			if m.ID == block && (to == node || m.Src == node) {
+				return false
+			}
+		}
+	}
+	for _, e := range w.engines {
+		for _, b := range e.Blocks {
+			if b.ID != block {
+				continue
+			}
+			for _, m := range b.Deferred {
+				if m.Src == node {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// removeAt pops the message at idx from a channel without aliasing either
+// side of the split.
+func (w *World) removeAt(ch, idx int) *runtime.Message {
+	m := w.channels[ch][idx]
+	w.channels[ch] = append(append([]*runtime.Message{}, w.channels[ch][:idx]...), w.channels[ch][idx+1:]...)
+	return m
+}
+
 // apply executes the action, returning a protocol error if one occurred.
 func (w *World) apply(a action) error {
-	if a.deliver {
+	switch a.kind {
+	case actDeliver:
+		m := w.removeAt(a.from*w.cfg.Nodes+a.to, a.idx)
+		if err := w.engines[a.to].Deliver(m); err != nil {
+			return err
+		}
+		return w.sendErr
+	case actDrop:
+		w.removeAt(a.from*w.cfg.Nodes+a.to, a.idx)
+		w.drops++
+		return nil
+	case actDup:
 		ch := a.from*w.cfg.Nodes + a.to
 		m := w.channels[ch][a.idx]
-		w.channels[ch] = append(append([]*runtime.Message{}, w.channels[ch][:a.idx]...), w.channels[ch][a.idx+1:]...)
-		if err := w.engines[a.to].Deliver(m); err != nil {
+		cm, err := w.engines[ch%w.cfg.Nodes].CloneMessage(m, w.cfg.Codec)
+		if err != nil {
+			return fmt.Errorf("mc: duplicate message: %w", err)
+		}
+		// The copy goes immediately behind the original: duplication alone
+		// must not reorder the channel. Appending at the tail instead would
+		// let the copy arrive behind arbitrarily many later messages —
+		// unbounded reordering smuggled in through the dup budget, which no
+		// protocol without per-message epochs can survive. Combining dup
+		// with a reorder credit still lets the copy drift that far.
+		w.channels[ch] = append(w.channels[ch], nil)
+		copy(w.channels[ch][a.idx+2:], w.channels[ch][a.idx+1:])
+		w.channels[ch][a.idx+1] = cm
+		w.dups++
+		return nil
+	case actCorrupt:
+		m := w.removeAt(a.from*w.cfg.Nodes+a.to, a.idx)
+		// The receiving interface detects the corruption and bounces the
+		// tag back to the sender, exactly like the engine's Nack() builtin.
+		w.channels[a.to*w.cfg.Nodes+a.from] = append(w.channels[a.to*w.cfg.Nodes+a.from], &runtime.Message{
+			Tag:     w.cfg.nackTag,
+			ID:      m.ID,
+			Src:     a.to,
+			Payload: []vm.Value{vm.MsgVal(m.Tag)},
+		})
+		w.corrupts++
+		return nil
+	case actTimeout:
+		if err := w.engines[a.node].InjectEvent(w.cfg.timeoutTag, a.block); err != nil {
 			return err
 		}
 		return w.sendErr
@@ -476,9 +675,12 @@ func (w *World) networkEmpty() bool {
 // either side reallocate instead of aliasing.
 func (w *World) clone() (*World, error) {
 	nw := &World{
-		cfg:     w.cfg,
-		access:  append([]sema.AccessMode(nil), w.access...),
-		stalled: append([]int(nil), w.stalled...),
+		cfg:      w.cfg,
+		access:   append([]sema.AccessMode(nil), w.access...),
+		stalled:  append([]int(nil), w.stalled...),
+		drops:    w.drops,
+		dups:     w.dups,
+		corrupts: w.corrupts,
 	}
 	nw.engines = make([]*runtime.Engine, len(w.engines))
 	for i, e := range w.engines {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"teapot/internal/mc"
+	"teapot/internal/netmodel"
 	"teapot/internal/protocols/lcm"
 	"teapot/internal/protocols/stache"
 	"teapot/internal/protocols/update"
@@ -27,6 +28,12 @@ func equivalenceConfigs(t *testing.T) map[string]func() mc.Config {
 				Nodes: 2, Blocks: 1,
 				Events: stache.NewEvents(p), CheckCoherence: true,
 			}
+		},
+		// Fault budgets multiply the action set (drops, dups, timeouts) and
+		// thread extra counters through the canonical encoding; the
+		// equivalence contract must hold across all of it.
+		"stache-ft-faults": func() mc.Config {
+			return stacheFTConfig(t, 2, 1, netmodel.Model{MaxDrops: 1, MaxDups: 1})
 		},
 		"bufwrite": func() mc.Config { return bufwriteConfig(t, 2, 1, 1) },
 		"update": func() mc.Config {

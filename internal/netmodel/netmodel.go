@@ -1,0 +1,277 @@
+// Package netmodel is the network fault model shared by every Teapot
+// backend. One Model value describes what the network may do to in-flight
+// messages — reorder, delay, drop, duplicate, corrupt — and both execution
+// substrates consume it:
+//
+//   - the model checker (internal/mc) explores faults *nondeterministically*
+//     under bounded budgets (MaxDrops/MaxDups/MaxCorrupts per run), keeping
+//     the state space finite and the parallel-BFS determinism contract
+//     intact;
+//   - the simulator (internal/tempest, via internal/sim) injects faults
+//     *stochastically* from a seeded deterministic RNG (Injector), recording
+//     each as an obs event so Chrome traces show the lost arrows.
+//
+// The textual form accepted by Parse is the -net flag syntax used by every
+// CLI: "drop=1,dup=1,reorder=2".
+package netmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Model is a network fault model. The zero value is a perfect in-order
+// network (the seed repo's default).
+type Model struct {
+	// Reorder bounds network reordering: a delivery may overtake at most
+	// Reorder earlier messages in its channel (0 = in-order, the paper
+	// verified with "1 reordering max").
+	Reorder int
+
+	// Delay models messages held back by the fabric. The checker treats it
+	// as extra reorder credit (a delayed message is overtaken by up to
+	// Delay additional messages); the simulator stretches an affected
+	// message's transit time by Delay extra network latencies.
+	Delay int
+
+	// MaxDrops bounds how many in-flight messages may be lost per run.
+	MaxDrops int
+
+	// MaxDups bounds how many in-flight messages may be duplicated per run.
+	MaxDups int
+
+	// MaxCorrupts bounds how many messages may be corrupted per run. A
+	// corrupted message is detected by the receiving interface and bounced
+	// back to its sender as a NACK carrying the original tag, so the
+	// protocol must declare a NACK message to be checked under corruption.
+	MaxCorrupts int
+
+	// Rate is the per-message fault probability for stochastic injection
+	// (the simulator only; the checker branches on every opportunity).
+	// 0 means DefaultRate whenever any fault budget is set.
+	Rate float64
+}
+
+// DefaultRate is the stochastic injection probability used when a fault
+// budget is configured but Rate is left 0.
+const DefaultRate = 0.25
+
+// Active reports whether the model injects any faults (reordering alone is
+// not a fault: it needs no budget and no recovery).
+func (m Model) Active() bool {
+	return m.MaxDrops > 0 || m.MaxDups > 0 || m.MaxCorrupts > 0 || m.Delay > 0
+}
+
+// EffectiveReorder is the reorder credit the checker grants a delivery:
+// the configured reorder bound plus the delay credit.
+func (m Model) EffectiveReorder() int { return m.Reorder + m.Delay }
+
+// Validate rejects malformed models.
+func (m Model) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"reorder", m.Reorder}, {"delay", m.Delay},
+		{"drop", m.MaxDrops}, {"dup", m.MaxDups}, {"corrupt", m.MaxCorrupts},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("netmodel: %s must be >= 0 (got %d)", f.name, f.v)
+		}
+	}
+	if m.Rate < 0 || m.Rate > 1 {
+		return fmt.Errorf("netmodel: rate must be in [0,1] (got %g)", m.Rate)
+	}
+	return nil
+}
+
+// rate returns the stochastic injection probability with the default
+// applied.
+func (m Model) rate() float64 {
+	if m.Rate > 0 {
+		return m.Rate
+	}
+	return DefaultRate
+}
+
+// Parse reads the -net flag syntax: a comma-separated list of key=value
+// pairs. Keys: reorder, delay, drop, dup, corrupt, rate. The empty string
+// is the zero Model.
+func Parse(s string) (Model, error) {
+	var m Model
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("netmodel: %q is not key=value (want e.g. drop=1,dup=1,reorder=2)", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if key == "rate" {
+			if _, err := fmt.Sscanf(val, "%g", &m.Rate); err != nil {
+				return m, fmt.Errorf("netmodel: bad rate %q", val)
+			}
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(val, "%d", &n); err != nil {
+			return m, fmt.Errorf("netmodel: bad value %q for %s", val, key)
+		}
+		switch key {
+		case "reorder":
+			m.Reorder = n
+		case "delay":
+			m.Delay = n
+		case "drop":
+			m.MaxDrops = n
+		case "dup":
+			m.MaxDups = n
+		case "corrupt":
+			m.MaxCorrupts = n
+		default:
+			return m, fmt.Errorf("netmodel: unknown key %q (known: reorder, delay, drop, dup, corrupt, rate)", key)
+		}
+	}
+	return m, m.Validate()
+}
+
+// String renders the model in Parse's syntax (Parse(m.String()) == m).
+func (m Model) String() string {
+	var parts []string
+	add := func(k string, v int) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+		}
+	}
+	add("reorder", m.Reorder)
+	add("delay", m.Delay)
+	add("drop", m.MaxDrops)
+	add("dup", m.MaxDups)
+	add("corrupt", m.MaxCorrupts)
+	if m.Rate != 0 {
+		parts = append(parts, fmt.Sprintf("rate=%g", m.Rate))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	sort.Strings(parts) // fixed rendering order independent of field order
+	return strings.Join(parts, ",")
+}
+
+// Fault is one stochastic injection decision.
+type Fault int
+
+// Injection outcomes.
+const (
+	FaultNone Fault = iota
+	FaultDrop
+	FaultDup
+	FaultDelay
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultDrop:
+		return "drop"
+	case FaultDup:
+		return "dup"
+	case FaultDelay:
+		return "delay"
+	}
+	return "none"
+}
+
+// Injector draws per-message fault decisions from a seeded deterministic
+// RNG (splitmix64, the same generator the workload builders use), honoring
+// the model's budgets: the same seed over the same send sequence always
+// yields the same faults, so simulator runs stay reproducible bit-for-bit.
+type Injector struct {
+	m     Model
+	s     uint64
+	drops int
+	dups  int
+	delay int
+}
+
+// NewInjector builds an injector for the model. A nil return means the
+// model injects nothing and the caller can skip the per-send check.
+func NewInjector(m Model, seed uint64) *Injector {
+	if !m.Active() {
+		return nil
+	}
+	return &Injector{m: m, s: seed}
+}
+
+func (i *Injector) next() uint64 {
+	i.s += 0x9e3779b97f4a7c15
+	z := i.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Next decides the fate of the next message send. Budgeted faults (drop,
+// dup) stop once spent; delay is per-message and unbudgeted.
+func (i *Injector) Next() Fault {
+	if i == nil {
+		return FaultNone
+	}
+	if float64(i.next()>>11)/(1<<53) >= i.m.rate() {
+		return FaultNone
+	}
+	var opts []Fault
+	if i.drops < i.m.MaxDrops {
+		opts = append(opts, FaultDrop)
+	}
+	if i.dups < i.m.MaxDups {
+		opts = append(opts, FaultDup)
+	}
+	if i.m.Delay > 0 {
+		opts = append(opts, FaultDelay)
+	}
+	if len(opts) == 0 {
+		return FaultNone
+	}
+	f := opts[i.next()%uint64(len(opts))]
+	switch f {
+	case FaultDrop:
+		i.drops++
+	case FaultDup:
+		i.dups++
+	case FaultDelay:
+		i.delay++
+	}
+	return f
+}
+
+// Drops returns how many messages the injector has dropped so far.
+func (i *Injector) Drops() int {
+	if i == nil {
+		return 0
+	}
+	return i.drops
+}
+
+// Dups returns how many messages the injector has duplicated so far.
+func (i *Injector) Dups() int {
+	if i == nil {
+		return 0
+	}
+	return i.dups
+}
+
+// Delays returns how many messages the injector has delayed so far.
+func (i *Injector) Delays() int {
+	if i == nil {
+		return 0
+	}
+	return i.delay
+}

@@ -1,0 +1,87 @@
+package netmodel
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Model
+	}{
+		{"", Model{}},
+		{"none", Model{}},
+		{"drop=1,dup=1,reorder=2", Model{Reorder: 2, MaxDrops: 1, MaxDups: 1}},
+		{" drop=2 , corrupt=1 ", Model{MaxDrops: 2, MaxCorrupts: 1}},
+		{"delay=1,rate=0.5", Model{Delay: 1, Rate: 0.5}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"drop", "drop=x", "bogus=1", "drop=-1", "rate=2"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, in := range []string{"", "drop=1,dup=1,reorder=2", "corrupt=1,delay=2"} {
+		m, err := Parse(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(m.String())
+		if err != nil {
+			t.Fatalf("Parse(%q.String()=%q): %v", in, m.String(), err)
+		}
+		if back != m {
+			t.Errorf("round trip %q -> %q -> %+v, want %+v", in, m.String(), back, m)
+		}
+	}
+}
+
+func TestEffectiveReorder(t *testing.T) {
+	m := Model{Reorder: 1, Delay: 2}
+	if got := m.EffectiveReorder(); got != 3 {
+		t.Errorf("EffectiveReorder = %d, want 3", got)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	m := Model{MaxDrops: 3, MaxDups: 2, Delay: 1, Rate: 0.5}
+	a, b := NewInjector(m, 42), NewInjector(m, 42)
+	var faultsA, faultsB []Fault
+	for i := 0; i < 200; i++ {
+		faultsA = append(faultsA, a.Next())
+		faultsB = append(faultsB, b.Next())
+	}
+	for i := range faultsA {
+		if faultsA[i] != faultsB[i] {
+			t.Fatalf("same seed diverged at send %d: %v vs %v", i, faultsA[i], faultsB[i])
+		}
+	}
+	if a.Drops() > m.MaxDrops || a.Dups() > m.MaxDups {
+		t.Errorf("budgets exceeded: drops=%d dups=%d", a.Drops(), a.Dups())
+	}
+	if a.Drops() == 0 && a.Dups() == 0 && a.Delays() == 0 {
+		t.Error("rate=0.5 over 200 sends injected nothing")
+	}
+}
+
+func TestInjectorInactive(t *testing.T) {
+	if inj := NewInjector(Model{Reorder: 3}, 1); inj != nil {
+		t.Error("reorder-only model should not build an injector")
+	}
+	var nilInj *Injector
+	if f := nilInj.Next(); f != FaultNone {
+		t.Errorf("nil injector Next = %v", f)
+	}
+}

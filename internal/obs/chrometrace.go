@@ -117,6 +117,15 @@ func WriteChromeTrace(w io.Writer, events []Event, names Names) error {
 		case KindNACK:
 			enc.instant(ev, "NACK "+names.Message(ev.Msg), "queue", map[string]any{
 				"block": ev.Block, "dst": ev.Peer})
+		case KindDrop:
+			// The Send's flow arrow (if any) is left dangling on purpose:
+			// a started flow with no Deliver end is how a lost message
+			// reads in the trace viewer.
+			enc.instant(ev, "Drop "+names.Message(ev.Msg), "fault", map[string]any{
+				"block": ev.Block, "dst": ev.Peer, "flow": ev.Flow})
+		case KindDup:
+			enc.instant(ev, "Dup "+names.Message(ev.Msg), "fault", map[string]any{
+				"block": ev.Block, "dst": ev.Peer, "flow": ev.Flow})
 		}
 		if enc.err != nil {
 			return enc.err

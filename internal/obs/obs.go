@@ -37,12 +37,14 @@ const (
 	KindNACK
 	KindSend
 	KindDeliver
+	KindDrop
+	KindDup
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"HandlerEnter", "HandlerExit", "Suspend", "Resume", "ContAlloc",
-	"Enqueue", "Dequeue", "NACK", "Send", "Deliver",
+	"Enqueue", "Dequeue", "NACK", "Send", "Deliver", "Drop", "Dup",
 }
 
 func (k Kind) String() string {
@@ -66,6 +68,13 @@ func (k Kind) String() string {
 //	NACK          block  cur-state  orig tag   dst       -     -              -
 //	Send          block  -          tag        dst       -     1 if data      flow id
 //	Deliver       block  pre-state  tag        src       -     -              flow id
+//	Drop          block  -          tag        dst       -     -              flow id
+//	Dup           block  -          tag        dst       -     -              flow id
+//
+// Drop and Dup are network fault injections (internal/netmodel): the event
+// is emitted at the *sending* node at send time. A Drop's flow id starts an
+// arrow that never ends — the lost message is visible in the Chrome trace
+// as a dangling flow; a Dup's flow id gains a second Deliver end.
 //
 // Time is the virtual time stamped by the sink's clock (simulated cycles
 // under the Tempest machine) and Seq a strictly increasing sequence number;

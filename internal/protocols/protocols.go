@@ -34,6 +34,7 @@ func All() []Entry {
 	}
 	return []Entry{
 		{Name: "stache", Config: cfg("stache", stache.Source, "Home_Idle")},
+		{Name: "stache-ft", Config: cfg("stache-ft", stache.FTSource, "Home_Idle")},
 		{Name: "stache-cas", Config: cfg("stache-cas", stache.CASSource, "Home_Idle")},
 		{Name: "stache-buggy", Config: cfg("stache-buggy", stache.BuggySource, "Home_Idle"), Buggy: true},
 		{Name: "lcm", Config: cfg("lcm", lcm.Source(lcm.Base), "Home_Idle")},

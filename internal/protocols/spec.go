@@ -1,0 +1,68 @@
+package protocols
+
+import (
+	"fmt"
+
+	"teapot/internal/core"
+	"teapot/internal/protocols/bufwrite"
+	"teapot/internal/protocols/lcm"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/protocols/update"
+)
+
+// Spec builds a runnable core.RunSpec for a bundled protocol: compiled
+// protocol, its support module, and its event generator, wired the same
+// way for every driver (teapot-verify, teapot-sim, teapot-bench). The
+// caller fills the run-shape knobs (Net, Workers, Seed, Program, ...) on
+// the returned spec.
+//
+// Not every bundled protocol is runnable — some exist only as compilation
+// fixtures — so Spec covers a subset of All().
+func Spec(name string, nodes, blocks int) (core.RunSpec, error) {
+	spec := core.RunSpec{Nodes: nodes, Blocks: blocks, CheckCoherence: true}
+	switch name {
+	case "stache":
+		a := stache.MustCompile(true)
+		spec.Proto = a.Protocol
+		spec.Support = stache.MustSupport(a.Protocol)
+		spec.Events = stache.NewEvents(a.Protocol)
+	case "stache-ft":
+		a := stache.MustCompileFT(true)
+		spec.Proto = a.Protocol
+		spec.Support = stache.MustFTSupport(a.Protocol, nodes)
+		spec.Events = stache.NewEvents(a.Protocol)
+	case "stache-buggy":
+		p, err := stache.CompileBuggy()
+		if err != nil {
+			return spec, err
+		}
+		spec.Proto = p
+		spec.Support = stache.MustSupport(p)
+		spec.Events = stache.NewEvents(p)
+	case "bufwrite":
+		a := bufwrite.MustCompile(true)
+		spec.Proto = a.Protocol
+		spec.Support = bufwrite.MustSupport(a.Protocol)
+		spec.Events = bufwrite.NewEvents(a.Protocol)
+	case "lcm":
+		a := lcm.MustCompile(lcm.Base, true)
+		spec.Proto = a.Protocol
+		spec.Support = lcm.MustSupport(a.Protocol, nodes)
+		spec.Events = lcm.NewEvents(a.Protocol)
+		spec.CheckCoherence = false // LCM phases are deliberately inconsistent
+	case "lcm-mcc":
+		a := lcm.MustCompile(lcm.MCC, true)
+		spec.Proto = a.Protocol
+		spec.Support = lcm.MustSupport(a.Protocol, nodes)
+		spec.Events = lcm.NewEvents(a.Protocol)
+		spec.CheckCoherence = false
+	case "update":
+		a := update.MustCompile(true)
+		spec.Proto = a.Protocol
+		spec.Support = update.MustSupport(a.Protocol)
+		spec.Events = update.NewEvents(a.Protocol)
+	default:
+		return spec, fmt.Errorf("no runnable spec for protocol %q (try: stache, stache-ft, stache-buggy, bufwrite, lcm, lcm-mcc, update)", name)
+	}
+	return spec, nil
+}

@@ -1,0 +1,569 @@
+package stache
+
+import (
+	"strings"
+
+	"teapot/internal/core"
+	"teapot/internal/runtime"
+	"teapot/internal/vm"
+)
+
+// Fault-tolerant Stache: the base protocol extended to survive a lossy,
+// duplicating network (internal/netmodel). Three ingredients:
+//
+//  1. a TIMEOUT pseudo-message: the runtime arms a per-block timer whenever
+//     the block sits in a state that declares an explicit TIMEOUT handler
+//     (every transient wait state below), and each handler retransmits the
+//     request whose answer the state is waiting for;
+//  2. idempotent request handling on the home side: a re-sent GET_RO_REQ /
+//     GET_RW_REQ / UPGRADE_REQ from a node the home already granted to is
+//     answered again instead of deadlocking or double-recalling;
+//  3. stale-message tolerance: duplicates of grants and acknowledgements
+//     from exchanges that already completed are explicitly dropped in every
+//     state they can reach, so they can never substitute for a live answer
+//     or trip a DEFAULT Error.
+//
+// Scope: the variant is verified at 2 nodes (the scale the paper's §6
+// verification runs use) for any drop budget the sweeps exercise (up to
+// drop=3), for reorder=1, and for at most ONE duplicate (dup=1, drop=1,dup=1,
+// drop=2,dup=1 all verify). dup=2 finds a genuine violation: two duplicates
+// let a stale request copy earn an unrequested re-grant while a stale
+// PUT_NO_DATA_RESP copy substitutes for the fresh invalidation ack the home
+// is waiting on — without per-message sequence numbers the home cannot tell
+// the copies apart, so a single-duplicate budget is the verified envelope of
+// any epoch-less protocol. Block data movement is abstract (SendData/RecvData
+// move permissions, not bytes), which lets Cache_Inv re-answer a writeback
+// recall after its response was lost; a real implementation would retain the
+// dirty copy until the writeback is acknowledged, and would tag messages
+// with epochs (sequence numbers) to lift the single-duplicate limit.
+
+// ftDecls extends the protocol declaration block.
+const ftDecls = `
+  -- Injected by the runtime (a timer in simulation, a nondeterministic
+  -- choice in the checker) while a block waits in a state declaring an
+  -- explicit handler for it; never crosses the network.
+  message TIMEOUT;
+  -- Write-miss wait poisoned by a recall we answered without the block
+  -- (the grant was lost): the next grant to arrive may predate that
+  -- recall and must be discarded, not installed.
+  state Cache_Inv_To_RW_P(C : CONT) transient;
+`
+
+// ftModule declares the retransmission support routine.
+const ftModule = `
+module StacheFTSupport begin
+  -- Re-sends PUT_NO_DATA_REQ to every node except this one. After a lost
+  -- acknowledgement the home cannot tell which node still owes one (an
+  -- evicted node is no longer in the sharer set but may have lost its
+  -- ack), so the retransmission over-approximates; every cache state
+  -- answers the request idempotently.
+  procedure ResendInvalidates(var info : INFO; id : ID);
+end;
+`
+
+// Cache side ------------------------------------------------------------
+
+const ftCacheInv = `
+  -- FT: a re-sent writeback recall after our PUT_DATA_RESP was lost. Block
+  -- data is not modeled, so the re-answer is a permission-level no-op; a
+  -- real implementation would retain the dirty copy until acknowledged.
+  message PUT_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(HomeNode(id), PUT_DATA_RESP, id);
+  end;
+
+  -- FT: stale duplicates from exchanges that already completed.
+  message GET_RO_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message UPGRADE_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message EVICT_RO_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+`
+
+const ftCacheRO = `
+  -- FT: stale duplicates; in Cache_RO every grant/ack is from a finished
+  -- exchange (a fresh RW grant only ever arrives in a _To_RW state).
+  message GET_RO_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message UPGRADE_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message EVICT_RO_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+`
+
+const ftCacheRW = `
+  -- FT: a duplicated invalidation from a previous read-shared epoch; the
+  -- original was answered from the state it found us in, and the home
+  -- cannot be collecting acks while we hold the only writable copy.
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message GET_RO_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message UPGRADE_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message EVICT_RO_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+`
+
+// ftStaleInTransient drops messages that can only be stale duplicates while
+// a cache waits for a specific answer; anything else still defers.
+const ftStaleAcks = `
+  message EVICT_RO_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message UPGRADE_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+`
+
+const ftCacheInvToRO = `
+  -- FT: the request or its grant was lost; ask again.
+  message TIMEOUT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RO_REQ, id);
+  end;
+
+  -- FT: the home re-recalls our previous (written-back) tenure because
+  -- the writeback response was lost; re-answer it. Deferring instead
+  -- deadlocks: the copy pins the home's timer while the home's suspension
+  -- pins our read request.
+  message PUT_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(HomeNode(id), PUT_DATA_RESP, id);
+  end;
+
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+` + ftStaleAcks
+
+const ftCacheInvToROP = `
+  -- FT: the grant this state was poisoned against was lost in the network:
+  -- there is nothing left to discard, so restart the read miss.
+  message TIMEOUT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RO_REQ, id);
+    SetState(info, Cache_Inv_To_RO{C});
+  end;
+
+  -- FT: the home re-recalled because the PUT_DATA_RESP that put us in this
+  -- poisoned state was lost. Re-answer instead of deferring: the home is
+  -- suspended awaiting the response and a deferred recall would hold both
+  -- sides forever.
+  message PUT_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(HomeNode(id), PUT_DATA_RESP, id);
+  end;
+` + ftStaleAcks
+
+const ftCacheInvToRW = `
+  message TIMEOUT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RW_REQ, id);
+  end;
+
+  -- FT: the home made us owner but the grant was lost, and it is now
+  -- recalling a block we never received. Answer so the home can move on,
+  -- and poison the pending fill (mirroring the base Cache_Inv_To_RO_P
+  -- pattern): a grant still in flight predates the recall.
+  message PUT_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(HomeNode(id), PUT_DATA_RESP, id);
+    SetState(info, Cache_Inv_To_RW_P{C});
+  end;
+
+  message GET_RO_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+` + ftStaleAcks
+
+// ftCacheInvToRWP is the poisoned write-miss wait, appended as a whole new
+// state (the base protocol has no RW analog of Cache_Inv_To_RO_P because
+// without message loss a recall can never reach Cache_Inv_To_RW).
+const ftCacheInvToRWP = `
+state Stache.Cache_Inv_To_RW_P(C : CONT)
+begin
+  -- Discard the (possibly stale) grant and ask again: the home records
+  -- us as owner, so the re-request is answered by the idempotent
+  -- re-grant branch in Home_Excl.
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RW_REQ, id);
+    SetState(info, Cache_Inv_To_RW{C});
+  end;
+
+  -- Both the poisoning recall and the grant were lost; restart the miss.
+  message TIMEOUT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RW_REQ, id);
+    SetState(info, Cache_Inv_To_RW{C});
+  end;
+
+  -- Duplicated recall; re-answer it.
+  message PUT_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(HomeNode(id), PUT_DATA_RESP, id);
+  end;
+
+  -- Stale invalidation aimed at an earlier tenure; answer it.
+  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+  end;
+
+  -- An upgrade answer that the poisoning recall overtook: like a full
+  -- grant, bounce it and ask again (message-driven, because on a pure
+  -- reordering network there are no timeouts to fall back on).
+  message UPGRADE_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), GET_RW_REQ, id);
+    SetState(info, Cache_Inv_To_RW{C});
+  end;
+
+  message GET_RO_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message EVICT_RO_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Enqueue(MessageTag, id, info, src);
+  end;
+end;
+`
+
+const ftCacheROToRW = `
+  message TIMEOUT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), UPGRADE_REQ, id);
+  end;
+
+  -- FT: the home made us owner but the UPGRADE_ACK was lost — or, on a
+  -- reordering network, this recall overtook it. Surrender the read copy
+  -- and poison the pending fill: a grant or ack still in flight predates
+  -- the recall and must be bounced, not installed.
+  message PUT_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(HomeNode(id), PUT_DATA_RESP, id);
+    AccessChange(id, Blk_Invalidate);
+    SetState(info, Cache_Inv_To_RW_P{C});
+  end;
+
+  message GET_RO_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message EVICT_RO_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+`
+
+// ftEvictRetry re-issues the eviction handshake; the home acknowledges
+// EVICT_RO_REQ idempotently in every state.
+const ftEvictRetry = `
+  message TIMEOUT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), EVICT_RO_REQ, id);
+  end;
+
+  message GET_RO_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message GET_RW_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message UPGRADE_ACK (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+`
+
+// ftPutDataReanswer answers a writeback re-recall in Cache_P_Evicting: the
+// home resent PUT_DATA_REQ because the response that poisoned this path was
+// lost, and it is suspended until one arrives — deferring the recall while
+// our own EVICT_RO_REQ waits for that same home would hold both sides.
+const ftPutDataReanswer = `
+  message PUT_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(HomeNode(id), PUT_DATA_RESP, id);
+  end;
+`
+
+// Home side -------------------------------------------------------------
+
+// ftHomeStale drops duplicated responses arriving after the wait that
+// wanted them already resumed.
+const ftHomeStale = `
+  message PUT_DATA_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+
+  message PUT_NO_DATA_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+`
+
+const ftHomeAwaitPutData = `
+  -- FT: the recall or the writeback response was lost; recall again (the
+  -- old owner re-answers from Cache_Inv if it already gave the block up).
+  message TIMEOUT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(owner, PUT_DATA_REQ, id);
+  end;
+`
+
+const ftHomeAwaitInvAcks = `
+  -- FT: an invalidation or its acknowledgement was lost; re-invalidate
+  -- every other node (see StacheFTSupport.ResendInvalidates).
+  message TIMEOUT (id : ID; var info : INFO; src : NODE)
+  begin
+    ResendInvalidates(info, id);
+  end;
+`
+
+// ftHomeRSGetRO replaces Home_RS's GET_RO_REQ handler: with the
+// acknowledged eviction handshake a node re-requests only after its
+// eviction was confirmed, so a GET_RO_REQ from a recorded sharer means the
+// grant was lost — re-grant idempotently instead of queueing for an
+// eviction notice that will never come.
+const ftHomeRSGetRO = `  message GET_RO_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    SendData(src, GET_RO_RESP, id);
+    AddSharer(info, src);
+  end;
+`
+
+// baseHomeRSGetRO is the handler ftHomeRSGetRO replaces (must match
+// source.go verbatim).
+const baseHomeRSGetRO = `  message GET_RO_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    if (IsSharer(info, src)) then
+      -- The request passed the node's eviction notice in the network
+      -- (the paper's reordering scenario): hold it until the notice
+      -- arrives and this state transitions.
+      Enqueue(MessageTag, id, info, src);
+    else
+      SendData(src, GET_RO_RESP, id);
+      AddSharer(info, src);
+    endif;
+  end;
+`
+
+// ftHomeExclRegrant guards Home_Excl's GET_RW_REQ and UPGRADE_REQ: a
+// request from the current owner is a retransmission after a lost grant —
+// answer it again rather than recalling the block from its own requester.
+const ftHomeExclGetRW = `  message GET_RW_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    if (src = owner) then
+      -- FT: the grant was lost; re-grant to the owner-to-be.
+      SendData(src, GET_RW_RESP, id);
+    else
+      Send(owner, PUT_DATA_REQ, id);
+      Suspend(L, Home_AwaitPutData{L});
+      SendData(src, GET_RW_RESP, id);
+      owner := src;
+      AccessChange(id, Blk_Invalidate);
+      SetState(info, Home_Excl{});
+    endif;
+  end;
+`
+
+const baseHomeExclGetRW = `  message GET_RW_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(owner, PUT_DATA_REQ, id);
+    Suspend(L, Home_AwaitPutData{L});
+    SendData(src, GET_RW_RESP, id);
+    owner := src;
+    AccessChange(id, Blk_Invalidate);
+    SetState(info, Home_Excl{});
+  end;
+
+  message UPGRADE_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(owner, PUT_DATA_REQ, id);
+    Suspend(L, Home_AwaitPutData{L});
+    SendData(src, GET_RW_RESP, id);
+    owner := src;
+    AccessChange(id, Blk_Invalidate);
+    SetState(info, Home_Excl{});
+  end;
+`
+
+const ftHomeExclUpgrade = `
+  message UPGRADE_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    if (src = owner) then
+      -- FT: the upgrade answer was lost; the waiter accepts a full grant.
+      SendData(src, GET_RW_RESP, id);
+    else
+      Send(owner, PUT_DATA_REQ, id);
+      Suspend(L, Home_AwaitPutData{L});
+      SendData(src, GET_RW_RESP, id);
+      owner := src;
+      AccessChange(id, Blk_Invalidate);
+      SetState(info, Home_Excl{});
+    endif;
+  end;
+`
+
+// FTSource is the fault-tolerant Stache protocol text.
+var FTSource = func() string {
+	src := Source
+	src = strings.Replace(src, "  message EVICT_RO_ACK;\nend;", "  message EVICT_RO_ACK;\n"+ftDecls+"end;", 1)
+	replace := func(old, new string) {
+		out := strings.Replace(src, old, new, 1)
+		if out == src {
+			panic("stache-ft: replacement target not found")
+		}
+		src = out
+	}
+	replace(baseHomeRSGetRO, ftHomeRSGetRO)
+	replace(baseHomeExclGetRW, ftHomeExclGetRW+ftHomeExclUpgrade)
+	insert := func(stateMarker, handlers string) {
+		at := strings.Index(src, stateMarker)
+		if at < 0 {
+			panic("stache-ft: marker not found: " + stateMarker)
+		}
+		j := strings.Index(src[at:], "begin")
+		pos := at + j + len("begin")
+		src = src[:pos] + "\n" + handlers + src[pos:]
+	}
+	insert("state Stache.Cache_Inv(", ftCacheInv)
+	insert("state Stache.Cache_RO(", ftCacheRO)
+	insert("state Stache.Cache_RW(", ftCacheRW)
+	insert("state Stache.Cache_Inv_To_RO(", ftCacheInvToRO)
+	insert("state Stache.Cache_Inv_To_RO_P(", ftCacheInvToROP)
+	insert("state Stache.Cache_Inv_To_RW(", ftCacheInvToRW)
+	insert("state Stache.Cache_RO_To_RW(", ftCacheROToRW)
+	insert("state Stache.Cache_RO_Evicting(", ftEvictRetry)
+	insert("state Stache.Cache_Ev_To_RO(", ftEvictRetry)
+	insert("state Stache.Cache_Ev_To_RW(", ftEvictRetry)
+	insert("state Stache.Cache_P_Evicting(", ftEvictRetry+ftPutDataReanswer)
+	insert("state Stache.Home_Idle(", ftHomeStale)
+	insert("state Stache.Home_RS(", ftHomeStale)
+	insert("state Stache.Home_Excl(", ftHomeStale)
+	insert("state Stache.Home_AwaitPutData(", ftHomeAwaitPutData)
+	insert("state Stache.Home_AwaitInvAcks(", ftHomeAwaitInvAcks)
+	return ftModule + src + ftCacheInvToRWP
+}()
+
+// CompileFT compiles the fault-tolerant variant.
+func CompileFT(optimize bool) (*core.Artifacts, error) {
+	return compileSource("stache-ft.tea", FTSource, optimize)
+}
+
+// MustCompileFT panics on compile errors (the embedded source is tested).
+func MustCompileFT(optimize bool) *core.Artifacts {
+	a, err := CompileFT(optimize)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// FTSupport extends the Stache support module with the retransmission
+// routine, which needs the machine size: it re-invalidates every node, not
+// just the recorded sharer set (see ftModule).
+type FTSupport struct {
+	*Support
+	nodes int
+}
+
+// NewFTSupport builds the fault-tolerant support module.
+func NewFTSupport(p *runtime.Protocol, nodes int) (*FTSupport, error) {
+	s, err := NewSupport(p)
+	if err != nil {
+		return nil, err
+	}
+	return &FTSupport{Support: s, nodes: nodes}, nil
+}
+
+// MustFTSupport panics on error.
+func MustFTSupport(p *runtime.Protocol, nodes int) *FTSupport {
+	s, err := NewFTSupport(p, nodes)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Call implements runtime.Support.
+func (s *FTSupport) Call(ctx *runtime.Ctx, name string, args []*vm.Value) (vm.Value, error) {
+	if name == "ResendInvalidates" {
+		id := int(args[1].Int)
+		for n := 0; n < s.nodes; n++ {
+			if n == ctx.Engine.Node {
+				continue
+			}
+			ctx.Engine.Sends++
+			ctx.Engine.Machine.Send(ctx.Engine.Node, n, &runtime.Message{
+				Tag: s.invReq,
+				ID:  id,
+				Src: ctx.Engine.Node,
+			})
+		}
+		return vm.Value{}, nil
+	}
+	return s.Support.Call(ctx, name, args)
+}

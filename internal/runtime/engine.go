@@ -31,6 +31,11 @@ type Message struct {
 	flow int64
 }
 
+// Flow returns the message's observability flow id (0 when no sink was
+// attached at send time). Machines that inject network faults use it to
+// emit Drop/Dup events that correlate with the original Send.
+func (m *Message) Flow() int64 { return m.flow }
+
 // Protocol is a compiled protocol plus execution options, shared by all
 // engines (one per node).
 type Protocol struct {
@@ -75,6 +80,23 @@ type Machine interface {
 	HomeNode(id int) int
 	// Print emits protocol debug output.
 	Print(node int, s string)
+}
+
+// TimeoutArmer is the optional machine extension behind runtime timeouts.
+// A protocol opts into timeout recovery by declaring a TIMEOUT message and
+// handling it explicitly in the states that wait on droppable replies; the
+// engine then keeps a per-block timer armed exactly while the block sits in
+// such a state. When the timer fires, the machine delivers TIMEOUT as an
+// ordinary protocol event — the handler dispatch, VM, and continuation
+// machinery are untouched. Machines that never lose messages (the model
+// checker's World injects timeouts itself, nondeterministically) simply
+// don't implement the interface.
+type TimeoutArmer interface {
+	// ArmTimeout (re)starts the timer for (node, block); a later Arm or
+	// Cancel supersedes it.
+	ArmTimeout(node, id int)
+	// CancelTimeout invalidates any pending timer for (node, block).
+	CancelTimeout(node, id int)
 }
 
 // Support supplies the implementations of module routines and abstract
@@ -153,12 +175,23 @@ type Engine struct {
 	// off; BenchmarkEngineDispatch asserts this costs nothing measurable.
 	obs     obs.Sink
 	flowSeq int64
+
+	// timeoutTag is the protocol's TIMEOUT message index (-1 when the
+	// protocol declares none) and armer the machine's timer extension (nil
+	// when the machine has no timers). Both nil-ish states make the timer
+	// hook in Deliver a no-op.
+	timeoutTag int
+	armer      TimeoutArmer
 }
 
 // NewEngine builds an engine for a node managing numBlocks blocks.
 func NewEngine(p *Protocol, node, numBlocks int, m Machine, sup Support) *Engine {
 	e := &Engine{Proto: p, Node: node, Machine: m, Support: sup}
 	e.Exec = vm.Exec{Prog: p.IR, ConstCont: p.Opts.ConstCont}
+	e.timeoutTag = p.MsgIndex("TIMEOUT")
+	if e.timeoutTag >= 0 {
+		e.armer, _ = m.(TimeoutArmer)
+	}
 	e.Blocks = make([]*Block, numBlocks)
 	for i := range e.Blocks {
 		e.Blocks[i] = e.newBlock(i)
@@ -219,7 +252,28 @@ func (e *Engine) Deliver(m *Message) error {
 	if err := e.dispatch(b, m); err != nil {
 		return err
 	}
-	return e.drain(b)
+	if err := e.drain(b); err != nil {
+		return err
+	}
+	e.updateTimer(b)
+	return nil
+}
+
+// updateTimer keeps the machine's per-block timer in sync with the block's
+// state after a completed delivery: armed exactly while the state declares
+// an explicit TIMEOUT handler (DEFAULT does not count — a defaulted TIMEOUT
+// would hit the state's Enqueue/Error policy, which is never what a timer
+// means). No-op unless both the protocol declares TIMEOUT and the machine
+// implements TimeoutArmer.
+func (e *Engine) updateTimer(b *Block) {
+	if e.armer == nil {
+		return
+	}
+	if _, ok := e.Proto.IR.HandlerFunc[b.State.State][e.timeoutTag]; ok {
+		e.armer.ArmTimeout(e.Node, b.ID)
+	} else {
+		e.armer.CancelTimeout(e.Node, b.ID)
+	}
 }
 
 const maxDrainPasses = 10000
@@ -365,7 +419,8 @@ func (e *Engine) Enqueue() error {
 func (e *Engine) Nack() error {
 	nack := e.Proto.MsgIndex("NACK")
 	if nack < 0 {
-		return e.errf(e.cur.block, "Nack() used but protocol declares no NACK message")
+		return e.errf(e.cur.block, "Nack() on message %s: protocol declares no NACK message",
+			e.msgName(e.cur.msg.Tag))
 	}
 	m := &Message{
 		Tag:     nack,

@@ -4,6 +4,9 @@
 package sim
 
 import (
+	"fmt"
+
+	"teapot/internal/netmodel"
 	"teapot/internal/obs"
 	"teapot/internal/runtime"
 	"teapot/internal/tempest"
@@ -24,10 +27,23 @@ type Config struct {
 	// obs.Attacher) for the duration of the run. Sinks that implement
 	// obs.ClockSetter are driven by the machine's virtual clock.
 	Obs obs.Sink
+
+	// Net injects network faults stochastically from a RNG seeded with
+	// Seed; the same (Config, Seed) always reproduces the same run. Message
+	// corruption is a checker-only fault (the simulator has no per-message
+	// NACK bounce path), so Net.MaxCorrupts must be 0 here.
+	Net  netmodel.Model
+	Seed uint64
 }
 
 // Run executes the workload to completion.
 func Run(cfg Config) (*tempest.Stats, error) {
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Net.MaxCorrupts > 0 {
+		return nil, fmt.Errorf("sim: Net corrupt=%d is checker-only (the simulator injects drop/dup/delay)", cfg.Net.MaxCorrupts)
+	}
 	prog := cfg.Program
 	if t, ok := prog.(*Trace); ok {
 		// Replay through a private cursor so a shared Workload trace is
@@ -41,6 +57,8 @@ func Run(cfg Config) (*tempest.Stats, error) {
 		Cost:    cfg.Cost,
 		Tags:    cfg.Tags,
 		Program: prog,
+		Net:     cfg.Net,
+		Seed:    cfg.Seed,
 	}
 	m := tempest.New(tc)
 	eng := cfg.MakeEngine(m)
@@ -49,6 +67,8 @@ func Run(cfg Config) (*tempest.Stats, error) {
 		if cs, ok := cfg.Obs.(obs.ClockSetter); ok {
 			cs.SetClock(m.Now)
 		}
+		m.SetObs(cfg.Obs)
+		defer m.SetObs(nil)
 		if a, ok := eng.(obs.Attacher); ok {
 			a.SetObs(cfg.Obs)
 			defer a.SetObs(nil)

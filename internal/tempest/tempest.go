@@ -16,6 +16,8 @@ import (
 	"container/heap"
 	"fmt"
 
+	"teapot/internal/netmodel"
+	"teapot/internal/obs"
 	"teapot/internal/runtime"
 	"teapot/internal/sema"
 )
@@ -71,6 +73,10 @@ type CostModel struct {
 	SendOverhead int64 // per message send
 	SupportCall  int64 // per support-routine invocation (call overhead)
 	NetLatency   int64 // network transit time
+	// TimeoutInterval is how long a block sits in a TIMEOUT-handling state
+	// before the timer fires (0 = 10 × NetLatency: long enough that a
+	// round-trip on a healthy network always beats it).
+	TimeoutInterval int64
 }
 
 // DefaultCost is calibrated so protocol processing is a minority of run
@@ -89,6 +95,8 @@ var DefaultCost = CostModel{
 	SendOverhead: 40,
 	SupportCall:  10,
 	NetLatency:   120,
+
+	TimeoutInterval: 1200,
 }
 
 // Cycles converts a counter delta into cycles.
@@ -126,6 +134,7 @@ type EventTags struct {
 	Sync       int // buffered-write synchronization
 	BeginPhase int // LCM phase entry
 	EndPhase   int // LCM phase exit
+	Timeout    int // TIMEOUT pseudo-message (fault-tolerant protocols)
 }
 
 // ResolveTags resolves the conventional event names on a protocol.
@@ -138,6 +147,7 @@ func ResolveTags(p *runtime.Protocol) EventTags {
 		Sync:       p.MsgIndex("SYNC"),
 		BeginPhase: p.MsgIndex("BEGIN_LCM_EV"),
 		EndPhase:   p.MsgIndex("END_LCM_EV"),
+		Timeout:    p.MsgIndex("TIMEOUT"),
 	}
 }
 
@@ -180,6 +190,14 @@ type Config struct {
 	Program Program
 	// MaxEvents bounds the simulation (safety net; 0 = default 100M).
 	MaxEvents int64
+
+	// Net is the network fault model: faults are injected stochastically at
+	// send time from a deterministic RNG seeded with Seed, so two runs with
+	// the same Config produce bit-identical Stats. Protocols without TIMEOUT
+	// recovery will deadlock (reported, not hung) if a message they depend
+	// on is dropped.
+	Net  netmodel.Model
+	Seed uint64
 }
 
 // Stats summarizes a run.
@@ -192,6 +210,12 @@ type Stats struct {
 	Accesses   int64
 	Faults     int64
 	Messages   int64
+
+	// Fault-injection outcomes (zero without an active Config.Net).
+	Drops    int64 // messages lost by the network
+	Dups     int64 // messages duplicated by the network
+	Delays   int64 // messages held back Delay extra latencies
+	Timeouts int64 // TIMEOUT pseudo-messages fired
 }
 
 // Machine is the simulated multiprocessor.
@@ -212,17 +236,26 @@ type Machine struct {
 	atBarrier []bool
 	nBarrier  int
 
+	// Fault injection and timers. timerGen[node*Blocks+block] is bumped on
+	// every arm/cancel; a timer event fires only if its generation is still
+	// current, which makes cancellation O(1) without queue surgery.
+	inj      *netmodel.Injector
+	timerGen []int64
+	obs      obs.Sink
+
 	stats Stats
 	err   error
 }
 
 // event is a scheduled occurrence.
 type event struct {
-	at   int64
-	seq  int64 // tie-breaker for determinism
-	kind int   // 0 = message delivery, 1 = processor step
-	node int
-	msg  *runtime.Message
+	at    int64
+	seq   int64 // tie-breaker for determinism
+	kind  int   // 0 = message delivery, 1 = processor step, 2 = block timer
+	node  int
+	msg   *runtime.Message
+	block int   // for timers
+	gen   int64 // timer generation at arm time
 }
 
 type eventQueue []*event
@@ -257,6 +290,9 @@ func New(cfg Config) *Machine {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 100_000_000
 	}
+	if cfg.Cost.TimeoutInterval == 0 {
+		cfg.Cost.TimeoutInterval = 10 * cfg.Cost.NetLatency
+	}
 	m := &Machine{
 		cfg:        cfg,
 		nodeTime:   make([]int64, cfg.Nodes),
@@ -266,6 +302,8 @@ func New(cfg Config) *Machine {
 		pendingOp:  make([]*Op, cfg.Nodes),
 		access:     make([]sema.AccessMode, cfg.Nodes*cfg.Blocks),
 		last:       make([]CostCounters, cfg.Nodes),
+		inj:        netmodel.NewInjector(cfg.Net, cfg.Seed),
+		timerGen:   make([]int64, cfg.Nodes*cfg.Blocks),
 	}
 	m.stats.NodeCycles = make([]int64, cfg.Nodes)
 	m.atBarrier = make([]bool, cfg.Nodes)
@@ -292,10 +330,79 @@ func (m *Machine) Access(node, id int) sema.AccessMode {
 
 // Send implements runtime.Machine: schedule delivery after the network
 // latency. Channels are in-order because latency is constant and ties
-// break by send sequence.
+// break by send sequence — unless Config.Net injects a fault: a dropped
+// message is never scheduled (its obs flow arrow dangles), a duplicated one
+// is scheduled twice (the copy a full latency later, so it arrives stale),
+// and a delayed one is held back Delay extra latencies.
 func (m *Machine) Send(from, dst int, msg *runtime.Message) {
 	m.stats.Messages++
-	m.schedule(&event{at: m.now + m.cfg.Cost.NetLatency, kind: 0, node: dst, msg: msg})
+	lat := m.cfg.Cost.NetLatency
+	switch m.inj.Next() {
+	case netmodel.FaultDrop:
+		m.stats.Drops++
+		m.emitFault(obs.KindDrop, from, dst, msg)
+		return
+	case netmodel.FaultDup:
+		m.stats.Dups++
+		m.emitFault(obs.KindDup, from, dst, msg)
+		c := *msg // payload and flow id shared: both deliveries are the same logical message
+		// Same arrival time, later heap sequence: the copy lands right
+		// behind the original, so duplication never reorders a channel
+		// (matching the checker's fault model).
+		m.schedule(&event{at: m.now + lat, kind: 0, node: dst, msg: &c})
+	case netmodel.FaultDelay:
+		m.stats.Delays++
+		lat += int64(m.cfg.Net.Delay) * m.cfg.Cost.NetLatency
+	}
+	m.schedule(&event{at: m.now + lat, kind: 0, node: dst, msg: msg})
+}
+
+// SetObs attaches a sink for the machine's own fault events (Drop/Dup);
+// handler-level events are emitted by the protocol engines.
+func (m *Machine) SetObs(s obs.Sink) { m.obs = s }
+
+func (m *Machine) emitFault(kind obs.Kind, from, dst int, msg *runtime.Message) {
+	if m.obs == nil {
+		return
+	}
+	m.obs.Emit(obs.Event{Kind: kind, Node: int32(from), Block: int32(msg.ID),
+		State: -1, Msg: int32(msg.Tag), Peer: int32(dst), Site: -1, Flow: msg.Flow()})
+}
+
+// ArmTimeout implements runtime.TimeoutArmer: (re)start the block's timer.
+// Superseding the generation invalidates any timer already in the queue.
+func (m *Machine) ArmTimeout(node, id int) {
+	if m.cfg.Tags.Timeout < 0 {
+		return
+	}
+	slot := node*m.cfg.Blocks + id
+	m.timerGen[slot]++
+	m.schedule(&event{at: m.now + m.cfg.Cost.TimeoutInterval, kind: 2,
+		node: node, block: id, gen: m.timerGen[slot]})
+}
+
+// CancelTimeout implements runtime.TimeoutArmer.
+func (m *Machine) CancelTimeout(node, id int) {
+	m.timerGen[node*m.cfg.Blocks+id]++
+}
+
+// fireTimer delivers the TIMEOUT pseudo-message for a block whose timer
+// expired un-canceled. The handler runs like any delivery; the engine
+// re-arms the timer if the state it lands in still declares one.
+func (m *Machine) fireTimer(e *event) {
+	if m.timerGen[e.node*m.cfg.Blocks+e.block] != e.gen {
+		return // canceled or re-armed since
+	}
+	m.stats.Timeouts++
+	start := m.nodeTime[e.node]
+	if start < m.now {
+		start = m.now
+	}
+	if err := m.cfg.Engine.Event(e.node, m.cfg.Tags.Timeout, e.block); err != nil {
+		m.err = err
+		return
+	}
+	m.nodeTime[e.node] = m.chargeProtocol(e.node, start)
 }
 
 // AccessChange implements runtime.Machine.
@@ -374,9 +481,12 @@ func (m *Machine) Run() (*Stats, error) {
 		}
 		e := heap.Pop(&m.queue).(*event)
 		m.now = e.at
-		if e.kind == 0 {
+		switch e.kind {
+		case 0:
 			m.deliver(e)
-		} else {
+		case 2:
+			m.fireTimer(e)
+		default:
 			m.step(e.node)
 		}
 		if m.err != nil {

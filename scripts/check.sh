@@ -20,3 +20,20 @@ trap 'rm -f "$tmptrace"' EXIT
 go run ./cmd/teapot-sim -workload gauss -nodes 4 -iters 2 -trace "$tmptrace" -stats >/dev/null
 go run ./scripts/tracecheck "$tmptrace"
 go run ./cmd/teapot-verify -protocol stache -progress=always >/dev/null
+# Fault-injection smoke matrix: the fault-tolerant Stache must verify under
+# each budgeted fault the repo documents as its envelope, and the base
+# Stache must demonstrably need the TIMEOUT machinery — a single dropped
+# message is a reported violation (exit 2), not a pass. Built binary, not
+# `go run`: go run collapses the child's exit code to 1.
+verifybin="$(mktemp -t teapot-verify.XXXXXX)"
+trap 'rm -f "$tmptrace" "$verifybin"' EXIT
+go build -o "$verifybin" ./cmd/teapot-verify
+for net in reorder=1 drop=1 dup=1 drop=1,dup=1; do
+  "$verifybin" -proto stache-ft -net "$net" >/dev/null
+done
+rc=0
+"$verifybin" -proto stache -net drop=1 >/dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "check.sh: stache -net drop=1 should exit 2 (violation), got $rc" >&2
+  exit 1
+fi
