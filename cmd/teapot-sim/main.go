@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"teapot/internal/cliflags"
+	"teapot/internal/core"
 	"teapot/internal/obs"
 	"teapot/internal/protocols/lcm"
 	"teapot/internal/protocols/stache"
@@ -29,7 +30,7 @@ func main() {
 		engine    = flag.String("engine", "opt", "hw (hand-written) | unopt | opt | ft (fault-tolerant Stache; the one to pair with -net)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (open in about:tracing or ui.perfetto.dev)")
 		showStats = flag.Bool("stats", false, "print the observability event summary after the run")
-		seed      = flag.Uint64("seed", 1, "fault-injection RNG seed (same -net and -seed: same run)")
+		seed      = flag.Uint64("seed", 1, "fault-injection RNG seed (same -net and -seed: same run; 0 = derive a stable seed from the run shape, as in every other tool)")
 		net       = cliflags.AddNet(flag.CommandLine)
 	)
 	flag.Parse()
@@ -93,6 +94,10 @@ func main() {
 			}
 			return tempest.NewTeapotEngine(p, *nodes, w.Blocks, m, stache.MustSupport(p))
 		}
+	}
+
+	if *seed == 0 {
+		*seed = core.RunSpec{Proto: proto, Nodes: *nodes, Blocks: w.Blocks, Net: net.Model}.EffectiveSeed()
 	}
 
 	var col *obs.Collector

@@ -31,17 +31,11 @@ func main() {
 
 		// Deprecated aliases, kept one release: -protocol for -proto and
 		// -reorder for -net reorder=N.
-		protocol = flag.String("protocol", "", "deprecated alias for -proto")
-		reorder  = flag.Int("reorder", 0, "deprecated alias for -net reorder=N (the larger wins)")
+		dep = cliflags.AddDeprecated(flag.CommandLine)
 	)
 	flag.Parse()
 
-	if *protocol != "" {
-		*run.Proto = *protocol
-	}
-	if *reorder > run.Net.Model.Reorder {
-		run.Net.Model.Reorder = *reorder
-	}
+	dep.Apply(run)
 	// Historical default: with no network flags at all, verify under
 	// "1 reordering max" (the paper's configuration).
 	given := map[string]bool{}

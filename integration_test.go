@@ -150,6 +150,43 @@ func TestBenchToolTables(t *testing.T) {
 	}
 }
 
+func TestFuzzTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	// A clean protocol runs a short campaign without violations (exit 0).
+	out, err := runTool(t, "./cmd/teapot-fuzz", "-proto", "stache", "-schedules", "25", "-seed", "7")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no violations") {
+		t.Errorf("output:\n%s", out)
+	}
+
+	// The seeded-bug fixture under a one-drop budget: found, shrunk,
+	// written to disk, and the artifact replays to the same failure.
+	repro := filepath.Join(t.TempDir(), "repro.json")
+	out, err = runTool(t, "./cmd/teapot-fuzz", "-proto", "stache-ft-buggy", "-net", "drop=1",
+		"-seed", "2", "-schedules", "100", "-out", repro)
+	if err == nil {
+		t.Fatalf("seeded bug should exit non-zero:\n%s", out)
+	}
+	for _, want := range []string{"FAILURE", "coherence violation", "minimal reproducer:", "reproducer replays from disk"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The saved artifact alone reproduces the failure.
+	out, err = runTool(t, "./cmd/teapot-fuzz", "-replay", repro)
+	if err == nil {
+		t.Fatalf("replay of a failing schedule should exit non-zero:\n%s", out)
+	}
+	if !strings.Contains(out, "reproduced:") || !strings.Contains(out, "coherence violation") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("invokes the go toolchain")

@@ -25,6 +25,17 @@ func TestBundledProtocols(t *testing.T) {
 			if !optimize {
 				name += " (unoptimized)"
 			}
+			if e.Name == "stache-ft-buggy" {
+				// The fuzzer's seeded fixture: a deleted invalidation
+				// whose handlers all still progress, so it is invisible
+				// to static analysis by design — only a faulted schedule
+				// (or the model checker under a drop budget) surfaces
+				// the coherence violation. It must vet clean.
+				if ds := rep.Actionable(); len(ds) != 0 {
+					t.Errorf("%s: want a clean report (the seeded bug is dynamic), got:\n%s", name, rep)
+				}
+				continue
+			}
 			if e.Buggy {
 				ds := rep.ByCheck("defer-deadlock")
 				if len(ds) != 1 {

@@ -66,8 +66,35 @@ func AddRun(fs *flag.FlagSet, defProto string, defNodes, defBlocks int) *Run {
 		Nodes:   fs.Int("nodes", defNodes, "number of nodes"),
 		Blocks:  fs.Int("blocks", defBlocks, "number of shared blocks"),
 		Workers: fs.Int("workers", 0, "model-checker BFS worker goroutines (0 = GOMAXPROCS)"),
-		Seed:    fs.Uint64("seed", 1, "simulator fault-injection RNG seed"),
+		Seed:    fs.Uint64("seed", 1, "simulator/fuzzer RNG seed (0 = derive a stable seed from the run shape, so -seed 0 names the same run to every tool)"),
 		Net:     AddNet(fs),
+	}
+}
+
+// Deprecated bundles the flag aliases kept for one release: -protocol for
+// -proto, and -reorder for -net reorder=N.
+type Deprecated struct {
+	Protocol *string
+	Reorder  *int
+}
+
+// AddDeprecated registers the deprecated aliases on fs.
+func AddDeprecated(fs *flag.FlagSet) *Deprecated {
+	return &Deprecated{
+		Protocol: fs.String("protocol", "", "deprecated alias for -proto"),
+		Reorder:  fs.Int("reorder", 0, "deprecated alias for -net reorder=N (the larger wins)"),
+	}
+}
+
+// Apply merges the parsed aliases into the canonical flags: a non-empty
+// -protocol overrides -proto, and the larger of -reorder and -net's
+// reorder field wins.
+func (d *Deprecated) Apply(r *Run) {
+	if *d.Protocol != "" {
+		*r.Proto = *d.Protocol
+	}
+	if *d.Reorder > r.Net.Model.Reorder {
+		r.Net.Model.Reorder = *d.Reorder
 	}
 }
 
@@ -88,7 +115,7 @@ func (r *Run) Spec() (core.RunSpec, error) {
 // registering flags never compiles a protocol; a cliflags test keeps it
 // in sync with protocols.Spec.
 func RunnableNames() []string {
-	return []string{"stache", "stache-ft", "stache-buggy", "lcm", "lcm-mcc", "bufwrite", "update"}
+	return []string{"stache", "stache-ft", "stache-buggy", "stache-ft-buggy", "lcm", "lcm-mcc", "bufwrite", "update"}
 }
 
 // BadFlag formats a consistent usage error.

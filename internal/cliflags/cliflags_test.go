@@ -59,3 +59,60 @@ func TestRunSpec(t *testing.T) {
 		t.Error("unknown protocol accepted")
 	}
 }
+
+// TestSeedZeroDerives: -seed 0 must resolve to a stable derived seed, not
+// the literal zero, and the derivation must depend on the run shape.
+func TestSeedZeroDerives(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	r := AddRun(fs, "stache", 2, 1)
+	if err := fs.Parse([]string{"-seed", "0", "-net", "drop=1"}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := r.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 0 {
+		t.Fatalf("Spec rewrote the sentinel seed to %d; EffectiveSeed owns the derivation", spec.Seed)
+	}
+	derived := spec.EffectiveSeed()
+	if derived == 0 {
+		t.Fatal("derived seed is 0")
+	}
+	other := spec
+	other.Net.MaxDrops = 2
+	if other.EffectiveSeed() == derived {
+		t.Error("different net model derived the same seed")
+	}
+}
+
+// TestDeprecatedAliases: -protocol overrides -proto, and the larger of
+// -reorder and -net's reorder field wins.
+func TestDeprecatedAliases(t *testing.T) {
+	for _, tc := range []struct {
+		args        []string
+		wantProto   string
+		wantReorder int
+	}{
+		{[]string{"-protocol", "stache-ft"}, "stache-ft", 0},
+		{[]string{"-proto", "update", "-protocol", "stache-ft"}, "stache-ft", 0},
+		{[]string{"-reorder", "2"}, "stache", 2},
+		{[]string{"-reorder", "2", "-net", "reorder=3"}, "stache", 3},
+		{[]string{"-reorder", "3", "-net", "reorder=2,drop=1"}, "stache", 3},
+		{[]string{}, "stache", 0},
+	} {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		r := AddRun(fs, "stache", 2, 1)
+		d := AddDeprecated(fs)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatal(err)
+		}
+		d.Apply(r)
+		if *r.Proto != tc.wantProto {
+			t.Errorf("%v: proto %q, want %q", tc.args, *r.Proto, tc.wantProto)
+		}
+		if r.Net.Model.Reorder != tc.wantReorder {
+			t.Errorf("%v: reorder %d, want %d", tc.args, r.Net.Model.Reorder, tc.wantReorder)
+		}
+	}
+}

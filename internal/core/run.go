@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"hash/fnv"
+
 	"teapot/internal/mc"
 	"teapot/internal/netmodel"
 	"teapot/internal/obs"
@@ -41,10 +44,33 @@ type RunSpec struct {
 	Progress       func(mc.ProgressInfo)
 
 	// Simulator knobs.
-	Seed    uint64 // fault-injection RNG seed
-	Program tempest.Program
-	Cost    tempest.CostModel // zero value: tempest.DefaultCost
-	Obs     obs.Sink
+	Seed      uint64 // fault-injection RNG seed
+	Program   tempest.Program
+	Cost      tempest.CostModel // zero value: tempest.DefaultCost
+	Obs       obs.Sink
+	MaxEvents int64 // event budget for the run (0 = tempest's default)
+}
+
+// EffectiveSeed resolves the spec's RNG seed. A nonzero Seed is used
+// verbatim; Seed 0 means "derive a stable seed from the run shape"
+// (protocol name, machine size, network model), so "-seed 0" names the
+// same deterministic run to every tool instead of conflating "unset" with
+// the literal seed zero.
+func (s RunSpec) EffectiveSeed() uint64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	h := fnv.New64a()
+	name := ""
+	if s.Proto != nil {
+		name = s.Proto.Sema().ProtoName
+	}
+	fmt.Fprintf(h, "%s|%d|%d|%s", name, s.Nodes, s.Blocks, s.Net)
+	seed := h.Sum64()
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
 }
 
 // MCConfig lowers the spec to a checker configuration.
@@ -80,10 +106,11 @@ func (s RunSpec) SimConfig() sim.Config {
 		MakeEngine: func(m runtime.Machine) tempest.Engine {
 			return tempest.NewTeapotEngine(s.Proto, s.Nodes, s.Blocks, m, s.Support)
 		},
-		Program: s.Program,
-		Obs:     s.Obs,
-		Net:     s.Net,
-		Seed:    s.Seed,
+		Program:   s.Program,
+		Obs:       s.Obs,
+		Net:       s.Net,
+		Seed:      s.EffectiveSeed(),
+		MaxEvents: s.MaxEvents,
 	}
 }
 

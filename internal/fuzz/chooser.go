@@ -1,0 +1,109 @@
+package fuzz
+
+import (
+	"teapot/internal/tempest"
+)
+
+// splitmix64, the repo's standard small PRNG.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// DefaultRate is the per-choice deviation probability: how often the
+// recorder strays from the benign option. High enough that a handful of
+// schedules exercises faults and reorderings, low enough that most of a
+// run stays on the fast path (heavily faulted runs mostly die of budget
+// exhaustion, not interesting interleavings).
+const DefaultRate = 0.25
+
+// Recorder is the fuzzing chooser: it draws each decision from a seeded
+// RNG and records every non-benign pick. The same seed always produces
+// the same decision sequence over the same run.
+type Recorder struct {
+	rng       rng
+	rate      float64
+	step      uint64
+	decisions []Decision
+}
+
+// NewRecorder builds a recorder. rate 0 means DefaultRate.
+func NewRecorder(seed uint64, rate float64) *Recorder {
+	if rate == 0 {
+		rate = DefaultRate
+	}
+	return &Recorder{rng: rng{s: seed}, rate: rate}
+}
+
+// Choose implements tempest.Chooser.
+func (r *Recorder) Choose(kind tempest.ChoiceKind, n int) int {
+	step := r.step
+	r.step++
+	pick := 0
+	if r.rng.float() < r.rate {
+		pick = 1 + r.rng.intn(n-1)
+	}
+	if pick != 0 {
+		r.decisions = append(r.decisions, Decision{Step: step, Kind: kindName(kind), Pick: pick})
+	}
+	return pick
+}
+
+// Steps returns how many choice points the run exposed.
+func (r *Recorder) Steps() uint64 { return r.step }
+
+// Decisions returns the recorded non-benign picks, in step order.
+func (r *Recorder) Decisions() []Decision { return r.decisions }
+
+// Replayer plays a schedule's decisions back: at each recorded step the
+// recorded pick, benign option 0 everywhere else. Out-of-range picks (a
+// decision recorded under a wider option set — possible for shrunk
+// subsets whose early decisions changed the run) fall back to 0 rather
+// than failing, so every subset of a schedule is itself a valid schedule;
+// delta debugging relies on that totality.
+type Replayer struct {
+	decisions []Decision
+	next      int
+	step      uint64
+	applied   int
+}
+
+// NewReplayer builds a replayer over the schedule's decisions (which Save
+// and the recorder keep in ascending step order).
+func NewReplayer(s *Schedule) *Replayer {
+	return &Replayer{decisions: s.Decisions}
+}
+
+// Choose implements tempest.Chooser.
+func (r *Replayer) Choose(kind tempest.ChoiceKind, n int) int {
+	step := r.step
+	r.step++
+	for r.next < len(r.decisions) && r.decisions[r.next].Step < step {
+		r.next++
+	}
+	if r.next >= len(r.decisions) {
+		return 0
+	}
+	d := r.decisions[r.next]
+	if d.Step != step || d.Kind != kindName(kind) || d.Pick < 0 || d.Pick >= n {
+		return 0
+	}
+	r.next++
+	r.applied++
+	return d.Pick
+}
+
+// Steps returns how many choice points the replayed run exposed.
+func (r *Replayer) Steps() uint64 { return r.step }
+
+// Applied returns how many recorded decisions actually took effect.
+func (r *Replayer) Applied() int { return r.applied }

@@ -1,0 +1,248 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"teapot/internal/core"
+	"teapot/internal/mc"
+	"teapot/internal/runtime"
+	"teapot/internal/sema"
+	"teapot/internal/vm"
+)
+
+// execMachine is an independent execution substrate for replaying model
+// checker counterexamples: persistent runtime.Engines driven straight-line,
+// the way the simulator drives them — no cloning, no canonical
+// encode/decode round-trips, no action enumeration. Replaying a
+// counterexample on both substrates and comparing canonical snapshots after
+// every step cross-checks the checker's state machinery (channel splicing,
+// structural clone sharing, visited-set codec) against plain execution.
+type execMachine struct {
+	spec     core.RunSpec
+	homeOf   func(id int) int
+	engines  []*runtime.Engine
+	channels [][]*runtime.Message // [from*Nodes+to]
+	access   []sema.AccessMode    // [node*Blocks+block]
+	stalled  []int                // per node: block stalled on, or -1
+
+	drops, dups, corrupts int
+
+	timeoutTag, nackTag int
+	sendErr             error
+}
+
+func newExecMachine(spec core.RunSpec) *execMachine {
+	homeOf := spec.HomeOf
+	if homeOf == nil {
+		nodes := spec.Nodes
+		homeOf = func(id int) int { return id % nodes }
+	}
+	x := &execMachine{
+		spec:       spec,
+		homeOf:     homeOf,
+		channels:   make([][]*runtime.Message, spec.Nodes*spec.Nodes),
+		access:     make([]sema.AccessMode, spec.Nodes*spec.Blocks),
+		stalled:    make([]int, spec.Nodes),
+		timeoutTag: spec.Proto.MsgIndex("TIMEOUT"),
+		nackTag:    spec.Proto.MsgIndex("NACK"),
+	}
+	for n := 0; n < spec.Nodes; n++ {
+		x.stalled[n] = -1
+		x.engines = append(x.engines, runtime.NewEngine(spec.Proto, n, spec.Blocks, x, spec.Support))
+	}
+	for b := 0; b < spec.Blocks; b++ {
+		x.access[homeOf(b)*spec.Blocks+b] = sema.AccReadWrite
+	}
+	return x
+}
+
+// ---- runtime.Machine (mirrors mc.World's implementation) ----
+
+func (x *execMachine) Send(from, dst int, m *runtime.Message) {
+	if dst < 0 || dst >= x.spec.Nodes {
+		x.sendErr = fmt.Errorf("send to invalid node %d", dst)
+		return
+	}
+	ch := from*x.spec.Nodes + dst
+	x.channels[ch] = append(x.channels[ch], m)
+}
+
+func (x *execMachine) AccessChange(node, id int, mode sema.AccessMode) {
+	x.access[node*x.spec.Blocks+id] = mode
+}
+
+func (x *execMachine) RecvData(node, id int, mode sema.AccessMode) {
+	x.access[node*x.spec.Blocks+id] = mode
+}
+
+func (x *execMachine) WakeUp(node, id int) {
+	if x.stalled[node] == id {
+		x.stalled[node] = -1
+	}
+}
+
+func (x *execMachine) HomeNode(id int) int { return x.homeOf(id) }
+
+func (x *execMachine) Print(node int, s string) {}
+
+func (x *execMachine) removeAt(ch, idx int) (*runtime.Message, error) {
+	if idx >= len(x.channels[ch]) {
+		return nil, fmt.Errorf("channel %d has %d message(s), step wants index %d",
+			ch, len(x.channels[ch]), idx)
+	}
+	m := x.channels[ch][idx]
+	x.channels[ch] = append(x.channels[ch][:idx:idx], x.channels[ch][idx+1:]...)
+	return m, nil
+}
+
+// apply executes one counterexample step. ev is the resolved processor
+// event for Kind "event" steps (it carries the payload).
+func (x *execMachine) apply(st mc.Step, ev *mc.Event) error {
+	switch st.Kind {
+	case "deliver":
+		m, err := x.removeAt(st.From*x.spec.Nodes+st.To, st.Idx)
+		if err != nil {
+			return err
+		}
+		if err := x.engines[st.To].Deliver(m); err != nil {
+			return err
+		}
+		return x.sendErr
+	case "drop":
+		if _, err := x.removeAt(st.From*x.spec.Nodes+st.To, st.Idx); err != nil {
+			return err
+		}
+		x.drops++
+		return nil
+	case "dup":
+		ch := st.From*x.spec.Nodes + st.To
+		if st.Idx >= len(x.channels[ch]) {
+			return fmt.Errorf("dup index %d out of range", st.Idx)
+		}
+		m := x.channels[ch][st.Idx]
+		cm, err := x.engines[ch%x.spec.Nodes].CloneMessage(m, x.spec.Codec)
+		if err != nil {
+			return err
+		}
+		x.channels[ch] = append(x.channels[ch], nil)
+		copy(x.channels[ch][st.Idx+2:], x.channels[ch][st.Idx+1:])
+		x.channels[ch][st.Idx+1] = cm
+		x.dups++
+		return nil
+	case "corrupt":
+		m, err := x.removeAt(st.From*x.spec.Nodes+st.To, st.Idx)
+		if err != nil {
+			return err
+		}
+		x.channels[st.To*x.spec.Nodes+st.From] = append(x.channels[st.To*x.spec.Nodes+st.From], &runtime.Message{
+			Tag:     x.nackTag,
+			ID:      m.ID,
+			Src:     st.To,
+			Payload: []vm.Value{vm.MsgVal(m.Tag)},
+		})
+		x.corrupts++
+		return nil
+	case "timeout":
+		if err := x.engines[st.Node].InjectEvent(x.timeoutTag, st.Block); err != nil {
+			return err
+		}
+		return x.sendErr
+	case "event":
+		if ev == nil {
+			return fmt.Errorf("event step %v without resolved event", st)
+		}
+		if ev.Stalls {
+			x.stalled[st.Node] = st.Block
+		}
+		if err := x.engines[st.Node].InjectEvent(ev.Tag, st.Block, ev.Payload...); err != nil {
+			return err
+		}
+		return x.sendErr
+	}
+	return fmt.Errorf("unknown step kind %q", st.Kind)
+}
+
+// snapshot canonically serializes the machine, field-for-field the encoding
+// mc.World uses as its visited-set key, so agreement can be asserted
+// byte-for-byte.
+func (x *execMachine) snapshot() (string, error) {
+	enc := &runtime.Encoder{}
+	for _, e := range x.engines {
+		if err := e.EncodeState(enc, x.spec.Codec); err != nil {
+			return "", err
+		}
+	}
+	for ch, msgs := range x.channels {
+		enc.Int(int64(len(msgs)))
+		for _, m := range msgs {
+			if err := x.engines[ch%x.spec.Nodes].EncodeMessage(enc, m, x.spec.Codec); err != nil {
+				return "", err
+			}
+		}
+	}
+	for _, a := range x.access {
+		enc.Byte(byte(a))
+	}
+	for _, s := range x.stalled {
+		enc.Int(int64(s))
+	}
+	enc.Int(int64(x.drops))
+	enc.Int(int64(x.dups))
+	enc.Int(int64(x.corrupts))
+	return string(enc.Bytes()), nil
+}
+
+// DiffReplay replays an mc counterexample step-for-step through an
+// independent runtime.Engine harness alongside the checker's own replay,
+// asserting canonical-state agreement after every step. A protocol-error
+// counterexample must fail on both substrates at the final step with the
+// same error. Returns nil when every step agrees.
+func DiffReplay(spec core.RunSpec, v *mc.Violation) error {
+	if v == nil {
+		return fmt.Errorf("fuzz: no violation to replay")
+	}
+	if len(v.Steps) == 0 {
+		// Deadlocks on the initial state (or a checker predating Steps)
+		// have nothing to replay.
+		return fmt.Errorf("fuzz: violation carries no machine-readable steps")
+	}
+	x := newExecMachine(spec)
+	return mc.ReplaySteps(spec.MCConfig(), v.Steps, func(i int, st mc.Step, ev *mc.Event, w *mc.World, applyErr error) error {
+		herr := x.apply(st, ev)
+		if applyErr != nil || herr != nil {
+			// Both substrates must fail here, identically, and only on the
+			// final step (ReplaySteps rejects mid-trace failures itself).
+			if applyErr == nil || herr == nil {
+				return fmt.Errorf("fuzz: step %d (%v): checker error %v, harness error %v", i, st, applyErr, herr)
+			}
+			if applyErr.Error() != herr.Error() {
+				return fmt.Errorf("fuzz: step %d (%v): errors disagree:\n  checker: %v\n  harness: %v", i, st, applyErr, herr)
+			}
+			return nil
+		}
+		ws, err := w.Snapshot()
+		if err != nil {
+			return fmt.Errorf("fuzz: step %d: checker snapshot: %w", i, err)
+		}
+		xs, err := x.snapshot()
+		if err != nil {
+			return fmt.Errorf("fuzz: step %d: harness snapshot: %w", i, err)
+		}
+		if ws != xs {
+			return fmt.Errorf("fuzz: step %d (%v): states diverge (%d vs %d canonical bytes)", i, st, len(ws), len(xs))
+		}
+		return nil
+	})
+}
+
+// ConfirmMC cross-checks a fuzz-found failure with the model checker: it
+// exhaustively explores the fuzzer's spec (same protocol, machine size, and
+// fault budgets) and returns the checker's verdict. A fuzz campaign that
+// found a violation should see the checker find one too — and every
+// checker counterexample must replay cleanly through the differential
+// harness.
+func (f *Fuzzer) ConfirmMC(maxStates int) (*mc.Result, error) {
+	cfg := f.spec.MCConfig()
+	cfg.MaxStates = maxStates
+	return mc.Check(cfg)
+}

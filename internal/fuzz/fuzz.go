@@ -1,0 +1,235 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"teapot/internal/core"
+	"teapot/internal/netmodel"
+	"teapot/internal/obs"
+	"teapot/internal/oracle"
+	"teapot/internal/protocols"
+	"teapot/internal/sim"
+	"teapot/internal/tempest"
+)
+
+// Profile is how a protocol is fuzzed and judged. Invalidation protocols
+// get the full oracle; write-through and buffered protocols propagate
+// values asynchronously, so only the access-control invariant applies.
+type Profile struct {
+	Inv   oracle.Invariants
+	Evict bool // workload includes voluntary evictions
+	Sync  bool // workload ends with a SYNC sweep
+}
+
+// ProfileFor returns the fuzzing profile for a bundled protocol. LCM
+// protocols are not judgeable: their phases are deliberately inconsistent
+// (that is the protocol's point), so no oracle profile exists.
+func ProfileFor(proto string) (Profile, error) {
+	switch proto {
+	case "stache", "stache-buggy", "stache-ft", "stache-ft-buggy":
+		return Profile{Inv: oracle.AllInvariants(), Evict: true}, nil
+	case "update":
+		return Profile{Inv: oracle.SWMROnly()}, nil
+	case "bufwrite":
+		return Profile{Inv: oracle.SWMROnly(), Sync: true}, nil
+	}
+	return Profile{}, fmt.Errorf("fuzz: no oracle profile for protocol %q (judgeable: stache, stache-ft, stache-buggy, stache-ft-buggy, update, bufwrite)", proto)
+}
+
+// Config shapes a fuzzing campaign.
+type Config struct {
+	Proto  string
+	Nodes  int // default 3
+	Blocks int // default 2
+	Net    netmodel.Model
+
+	Schedules  int     // schedules per campaign (default 100)
+	OpsPerNode int     // workload length (default 40)
+	Seed       uint64  // master seed; 0 derives one from the run shape
+	Rate       float64 // deviation probability (default DefaultRate)
+}
+
+// maxRunEvents caps each scheduled run. Clean fuzz workloads finish in a
+// few thousand events; a run that burns a million is stuck in a resend
+// storm and should come back as an error, not spin toward tempest's
+// 100M-event safety net.
+const maxRunEvents = 1_000_000
+
+// Fuzzer runs seeded schedules of one protocol. The compiled protocol and
+// support module are built once and shared across runs (they are
+// stateless; all per-run state lives in the engines each run rebuilds).
+type Fuzzer struct {
+	cfg  Config
+	spec core.RunSpec
+	prof Profile
+}
+
+// New builds a fuzzer, compiling the protocol.
+func New(cfg Config) (*Fuzzer, error) {
+	if cfg.Proto == "" {
+		return nil, fmt.Errorf("fuzz: no protocol")
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Blocks == 0 {
+		cfg.Blocks = 2
+	}
+	if cfg.Schedules == 0 {
+		cfg.Schedules = 100
+	}
+	if cfg.OpsPerNode == 0 {
+		cfg.OpsPerNode = 40
+	}
+	prof, err := ProfileFor(cfg.Proto)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := protocols.Spec(cfg.Proto, cfg.Nodes, cfg.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	spec.Net = cfg.Net
+	if err := spec.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Net.MaxCorrupts > 0 {
+		return nil, fmt.Errorf("fuzz: corrupt faults are checker-only (the simulator has no NACK bounce path)")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = spec.EffectiveSeed()
+	}
+	return &Fuzzer{cfg: cfg, spec: spec, prof: prof}, nil
+}
+
+// Spec exposes the underlying run spec (for mc cross-checking).
+func (f *Fuzzer) Spec() core.RunSpec { return f.spec }
+
+// Profile exposes the active oracle profile.
+func (f *Fuzzer) Profile() Profile { return f.prof }
+
+// Report is the outcome of one scheduled run.
+type Report struct {
+	Violation *oracle.Violation // oracle verdict (nil = coherent)
+	RunErr    error             // simulator/protocol failure (deadlock, protocol error)
+	Stats     *tempest.Stats
+	Steps     uint64 // choice points the run exposed
+}
+
+// Failed reports whether the run is a fuzzing failure.
+func (r *Report) Failed() bool { return r.Violation != nil || r.RunErr != nil }
+
+// class buckets a report for shrink-predicate purposes: shrinking must
+// preserve the failure class, not the exact message.
+func (r *Report) class() string {
+	switch {
+	case r.Violation != nil:
+		return "violation"
+	case r.RunErr != nil:
+		return "error"
+	}
+	return ""
+}
+
+// Failure is a failing schedule plus its verdict.
+type Failure struct {
+	Schedule *Schedule
+	Report   *Report
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Ran     int    // schedules executed
+	Steps   uint64 // total choice points exposed
+	Failure *Failure
+}
+
+// Fuzz runs up to cfg.Schedules seeded schedules, stopping at the first
+// failure. Each schedule gets its own recorder and workload seed derived
+// from the master seed, so a campaign is reproducible as a whole and every
+// individual failure is reproducible from its Schedule alone.
+func (f *Fuzzer) Fuzz() (*Result, error) {
+	res := &Result{}
+	for i := 0; i < f.cfg.Schedules; i++ {
+		recSeed := subSeed(f.cfg.Seed, uint64(2*i))
+		wSeed := subSeed(f.cfg.Seed, uint64(2*i+1))
+		rec := NewRecorder(recSeed, f.cfg.Rate)
+		rep := f.runWith(rec, wSeed)
+		rep.Steps = rec.Steps()
+		res.Ran++
+		res.Steps += rec.Steps()
+		if rep.Failed() {
+			res.Failure = &Failure{Schedule: f.schedule(rec.Decisions(), wSeed, recSeed), Report: rep}
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// Replay runs one schedule through the fuzzer's compiled protocol.
+func (f *Fuzzer) Replay(s *Schedule) *Report {
+	rp := NewReplayer(s)
+	rep := f.runWith(rp, s.WorkloadSeed)
+	rep.Steps = rp.Steps()
+	return rep
+}
+
+// ReplaySchedule reconstructs a fuzzer from a serialized schedule and
+// replays it: the path from artifact on disk back to a verdict.
+func ReplaySchedule(s *Schedule) (*Report, error) {
+	net, err := s.NetModel()
+	if err != nil {
+		return nil, err
+	}
+	f, err := New(Config{
+		Proto: s.Proto, Nodes: s.Nodes, Blocks: s.Blocks, Net: net,
+		OpsPerNode: s.OpsPerNode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f.Replay(s), nil
+}
+
+// runWith executes one run under the given chooser and workload seed,
+// judged by a fresh oracle.
+func (f *Fuzzer) runWith(ch tempest.Chooser, wSeed uint64) *Report {
+	checker := oracle.New(oracle.Config{
+		Nodes: f.cfg.Nodes, Blocks: f.cfg.Blocks,
+		HomeOf: f.spec.HomeOf, Inv: f.prof.Inv,
+	})
+	simCfg := f.spec.SimConfig()
+	simCfg.Program = RandomProgram(WorkloadOpts{
+		Nodes: f.cfg.Nodes, Blocks: f.cfg.Blocks, OpsPerNode: f.cfg.OpsPerNode,
+		Seed: wSeed, Evict: f.prof.Evict, Sync: f.prof.Sync,
+	})
+	simCfg.Obs = checker
+	simCfg.Sched = ch
+	simCfg.ObsMemory = true
+	simCfg.MaxEvents = maxRunEvents
+	stats, err := sim.Run(simCfg)
+	return &Report{
+		Violation: checker.Finish(),
+		RunErr:    err,
+		Stats:     stats,
+	}
+}
+
+func (f *Fuzzer) schedule(dec []Decision, wSeed, recSeed uint64) *Schedule {
+	return &Schedule{
+		Proto: f.cfg.Proto, Nodes: f.cfg.Nodes, Blocks: f.cfg.Blocks,
+		Net:          f.cfg.Net.String(),
+		WorkloadSeed: wSeed,
+		OpsPerNode:   f.cfg.OpsPerNode,
+		RecordSeed:   recSeed,
+		Decisions:    dec,
+	}
+}
+
+// subSeed derives the i-th stream seed from the master seed.
+func subSeed(seed, i uint64) uint64 {
+	r := rng{s: seed ^ (i+1)*0x9e3779b97f4a7c15}
+	return r.next()
+}
+
+var _ obs.Sink = (*oracle.Checker)(nil)

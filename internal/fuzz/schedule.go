@@ -1,0 +1,79 @@
+// Package fuzz drives the simulator through randomized schedules and
+// judges every run with the coherence oracle. Schedules are first-class
+// artifacts: each nondeterministic decision the Tempest machine delegates
+// (fault fate, bounded channel reordering, same-cycle ties) is recorded as
+// a (step, kind, pick) triple, so any run — including a failing one — can
+// be replayed bit-for-bit, shrunk by delta debugging to a minimal
+// reproducer, and cross-checked against the model checker.
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"teapot/internal/netmodel"
+	"teapot/internal/tempest"
+)
+
+// Decision is one recorded nondeterministic pick. Step is the global index
+// of the choice point in the run (every Choose call increments it, asked
+// or not recorded); Kind names the tempest.ChoiceKind; Pick is the chosen
+// option. Option 0 — the benign default — is never recorded, so a schedule
+// is sparse: the empty decision list is exactly the deterministic
+// fault-free run.
+type Decision struct {
+	Step uint64 `json:"step"`
+	Kind string `json:"kind"`
+	Pick int    `json:"pick"`
+}
+
+// Schedule is a complete, replayable description of one fuzzed run: the
+// run shape (protocol, machine size, fault model, workload) plus the
+// decision list. Serialized schedules are the fuzzer's failure artifacts.
+type Schedule struct {
+	Proto        string     `json:"proto"`
+	Nodes        int        `json:"nodes"`
+	Blocks       int        `json:"blocks"`
+	Net          string     `json:"net"` // netmodel flag syntax
+	WorkloadSeed uint64     `json:"workload_seed"`
+	OpsPerNode   int        `json:"ops_per_node"`
+	RecordSeed   uint64     `json:"record_seed,omitempty"` // provenance: the recorder RNG that found it
+	Decisions    []Decision `json:"decisions"`
+}
+
+// NetModel parses the schedule's fault model.
+func (s *Schedule) NetModel() (netmodel.Model, error) { return netmodel.Parse(s.Net) }
+
+func (s *Schedule) String() string {
+	return fmt.Sprintf("%s %dn/%db net=%s workload=%d×%d: %d decision(s)",
+		s.Proto, s.Nodes, s.Blocks, s.Net, s.WorkloadSeed, s.OpsPerNode, len(s.Decisions))
+}
+
+// Save writes the schedule as indented JSON.
+func (s *Schedule) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a schedule written by Save.
+func Load(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("fuzz: %s: %w", path, err)
+	}
+	if s.Proto == "" || s.Nodes <= 0 || s.Blocks <= 0 {
+		return nil, fmt.Errorf("fuzz: %s: incomplete schedule (proto/nodes/blocks)", path)
+	}
+	return &s, nil
+}
+
+// kindName maps a tempest choice kind to its schedule encoding.
+func kindName(k tempest.ChoiceKind) string { return k.String() }

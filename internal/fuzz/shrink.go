@@ -1,0 +1,78 @@
+package fuzz
+
+// Schedule shrinking: delta debugging (Zeller's ddmin) over the decision
+// list. Every subset of a schedule's decisions is itself a well-formed
+// schedule — unrecorded steps replay as the benign option — so the shrink
+// loop just deletes chunks of decisions and re-runs, keeping any subset
+// that still fails with the original failure class. The result is
+// 1-minimal: removing any single remaining decision makes the run pass.
+
+// maxShrinkTries bounds the number of replays one shrink may spend.
+const maxShrinkTries = 2000
+
+// Shrink minimizes a failing schedule. It returns the shrunk schedule and
+// the number of replays spent; if the input does not fail on replay it is
+// returned unchanged with tries == 1.
+func (f *Fuzzer) Shrink(s *Schedule) (*Schedule, int) {
+	want := f.Replay(s).class()
+	tries := 1
+	if want == "" {
+		return s, tries
+	}
+	fails := func(dec []Decision) bool {
+		cand := *s
+		cand.Decisions = dec
+		return f.Replay(&cand).class() == want
+	}
+
+	dec := s.Decisions
+	// Fast path: most seeded-bug failures need only a handful of the
+	// recorded deviations, and quite often none of the late ones.
+	if len(dec) > 0 {
+		tries++
+		if fails(nil) {
+			dec = nil
+		}
+	}
+	n := 2
+	for len(dec) >= 2 && tries < maxShrinkTries {
+		chunk := (len(dec) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(dec) && tries < maxShrinkTries; start += chunk {
+			end := start + chunk
+			if end > len(dec) {
+				end = len(dec)
+			}
+			complement := make([]Decision, 0, len(dec)-(end-start))
+			complement = append(complement, dec[:start]...)
+			complement = append(complement, dec[end:]...)
+			tries++
+			if fails(complement) {
+				dec = complement
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(dec) {
+				break
+			}
+			n *= 2
+			if n > len(dec) {
+				n = len(dec)
+			}
+		}
+	}
+	if len(dec) == 1 && tries < maxShrinkTries {
+		tries++
+		if fails(nil) {
+			dec = nil
+		}
+	}
+	out := *s
+	out.Decisions = dec
+	return &out, tries
+}

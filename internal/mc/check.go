@@ -239,6 +239,7 @@ func buildViolation(cfg *Config, vt *visitedTable, layer []int32, c *candidate) 
 
 	w := newWorld(cfg)
 	steps := make([]string, 0, len(ords))
+	machineSteps := make([]Step, 0, len(ords))
 	for n, ord := range ords {
 		acts := w.actions()
 		if int(ord) >= len(acts) {
@@ -246,6 +247,7 @@ func buildViolation(cfg *Config, vt *visitedTable, layer []int32, c *candidate) 
 		}
 		a := acts[ord]
 		steps = append(steps, w.describe(a))
+		machineSteps = append(machineSteps, w.step(a))
 		if n == len(ords)-1 && c.ord >= 0 {
 			break // the final action is the violation itself
 		}
@@ -253,7 +255,7 @@ func buildViolation(cfg *Config, vt *visitedTable, layer []int32, c *candidate) 
 			return nil, fmt.Errorf("mc: trace replay diverged at step %d: %w", n, err)
 		}
 	}
-	return &Violation{Kind: c.kind, Msg: c.msg, Trace: steps}, nil
+	return &Violation{Kind: c.kind, Msg: c.msg, Trace: steps, Steps: machineSteps}, nil
 }
 
 // describeStall renders a deadlock. When messages were dropped on the path

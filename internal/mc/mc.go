@@ -190,6 +190,11 @@ type Violation struct {
 	Kind  string
 	Msg   string
 	Trace []string
+	// Steps is the same trace in machine-readable form, replayable with
+	// ReplaySteps. Its final entry is the violating transition itself
+	// (absent for deadlocks, which are a property of the last state, not
+	// of a transition).
+	Steps []Step
 }
 
 func (v *Violation) String() string {

@@ -1,0 +1,122 @@
+package mc
+
+import "fmt"
+
+// Step is one machine-readable counterexample step. Violation.Trace renders
+// the same transitions for humans; Step carries them structurally so tools
+// can re-execute a counterexample on an independent substrate (see
+// ReplaySteps and the fuzz package's differential harness).
+type Step struct {
+	// Kind is one of "deliver", "drop", "dup", "corrupt", "timeout",
+	// "event".
+	Kind string
+	// From, To, Idx locate the message for the channel kinds (deliver,
+	// drop, dup, corrupt): position Idx within the From->To channel.
+	From, To, Idx int
+	// Node, Block locate the processor for "timeout" and "event".
+	Node, Block int
+	// Event is the event name for Kind "event".
+	Event string
+	// Msg is the message name for the channel kinds (informational; replay
+	// matches on position, which is exact).
+	Msg string
+}
+
+func (s Step) String() string {
+	switch s.Kind {
+	case "deliver", "drop", "dup", "corrupt":
+		return fmt.Sprintf("%s %s node%d->node%d[%d]", s.Kind, s.Msg, s.From, s.To, s.Idx)
+	case "timeout":
+		return fmt.Sprintf("timeout blk%d node%d", s.Block, s.Node)
+	}
+	return fmt.Sprintf("event %s blk%d node%d", s.Event, s.Block, s.Node)
+}
+
+// step renders an action as a machine-readable Step against the pre-action
+// world (needed to name the message still sitting in its channel).
+func (w *World) step(a action) Step {
+	st := Step{From: a.from, To: a.to, Idx: a.idx, Node: a.node, Block: a.block}
+	switch a.kind {
+	case actDeliver:
+		st.Kind = "deliver"
+	case actDrop:
+		st.Kind = "drop"
+	case actDup:
+		st.Kind = "dup"
+	case actCorrupt:
+		st.Kind = "corrupt"
+	case actTimeout:
+		st.Kind = "timeout"
+		return st
+	default:
+		st.Kind = "event"
+		st.Event = a.event.Name
+		return st
+	}
+	m := w.channels[a.from*w.cfg.Nodes+a.to][a.idx]
+	st.Msg = w.msgName(m.Tag)
+	st.Block = m.ID
+	return st
+}
+
+// resolveStep finds the enabled action matching st, or an error if the
+// counterexample has diverged from the world being replayed.
+func (w *World) resolveStep(st Step) (action, error) {
+	for _, a := range w.actions() {
+		cand := w.step(a)
+		switch st.Kind {
+		case "deliver", "drop", "dup", "corrupt":
+			if cand.Kind == st.Kind && cand.From == st.From && cand.To == st.To && cand.Idx == st.Idx {
+				return a, nil
+			}
+		case "timeout":
+			if cand.Kind == "timeout" && cand.Node == st.Node && cand.Block == st.Block {
+				return a, nil
+			}
+		case "event":
+			if cand.Kind == "event" && cand.Node == st.Node && cand.Block == st.Block && cand.Event == st.Event {
+				return a, nil
+			}
+		}
+	}
+	return action{}, fmt.Errorf("mc: step %v not enabled in replayed world", st)
+}
+
+// ReplaySteps re-executes a machine-readable counterexample from the
+// initial state. After each step is applied, visit is called with the step
+// index, the step, the resolved processor event (non-nil only for Kind
+// "event" steps — it carries the payload, which Step does not), the
+// post-step world, and the protocol error the step raised (non-nil only on
+// the final step of a protocol-error counterexample; replay stops there).
+// A visit error aborts the replay.
+func ReplaySteps(cfg Config, steps []Step, visit func(i int, st Step, ev *Event, w *World, applyErr error) error) error {
+	cfg.normalize()
+	if err := cfg.Net.Validate(); err != nil {
+		return err
+	}
+	w := newWorld(&cfg)
+	for i, st := range steps {
+		a, err := w.resolveStep(st)
+		if err != nil {
+			return fmt.Errorf("step %d: %w", i, err)
+		}
+		var ev *Event
+		if a.kind == actEvent {
+			e := a.event
+			ev = &e
+		}
+		applyErr := w.apply(a)
+		if visit != nil {
+			if err := visit(i, st, ev, w, applyErr); err != nil {
+				return err
+			}
+		}
+		if applyErr != nil {
+			if i != len(steps)-1 {
+				return fmt.Errorf("mc: step %d failed mid-trace: %w", i, applyErr)
+			}
+			return nil
+		}
+	}
+	return nil
+}

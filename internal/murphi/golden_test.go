@@ -1,0 +1,66 @@
+package murphi_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"teapot/internal/core"
+	"teapot/internal/murphi"
+	"teapot/internal/protocols"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden Murphi files under testdata/")
+
+// TestGoldenEmission pins the generated Murphi text for every bundled
+// protocol, byte for byte. The emission is an interchange artifact — the
+// paper's dual-target property rests on "a single source produces both
+// verification and executable code" — so unintended churn in it is a bug,
+// not cosmetics. Regenerate intentionally with:
+//
+//	go test ./internal/murphi/ -run TestGoldenEmission -update
+func TestGoldenEmission(t *testing.T) {
+	for _, e := range protocols.All() {
+		t.Run(e.Name, func(t *testing.T) {
+			a, err := core.Compile(e.Config)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			got := murphi.Generate(a.IR, murphi.Options{Nodes: 2, Blocks: 1, Reorder: 1})
+			path := filepath.Join("testdata", e.Name+".m")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Error(firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first divergent line of two texts.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("emission diverges from golden file at line %d:\n  want: %s\n  got:  %s\n(regenerate intentionally with -update)",
+				i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("emission length changed: golden %d lines, got %d lines (regenerate intentionally with -update)",
+		len(wl), len(gl))
+}

@@ -126,6 +126,18 @@ func WriteChromeTrace(w io.Writer, events []Event, names Names) error {
 		case KindDup:
 			enc.instant(ev, "Dup "+names.Message(ev.Msg), "fault", map[string]any{
 				"block": ev.Block, "dst": ev.Peer, "flow": ev.Flow})
+		case KindAccess:
+			enc.instant(ev, "Access", "mem", map[string]any{
+				"block": ev.Block, "mode": ev.Arg})
+		case KindData:
+			enc.instant(ev, "Data "+names.Message(ev.Msg), "mem", map[string]any{
+				"block": ev.Block, "src": ev.Peer, "version": ev.Arg})
+		case KindRead:
+			enc.instant(ev, "Read", "mem", map[string]any{
+				"block": ev.Block, "version": ev.Arg})
+		case KindWrite:
+			enc.instant(ev, "Write", "mem", map[string]any{
+				"block": ev.Block, "version": ev.Arg})
 		}
 		if enc.err != nil {
 			return enc.err

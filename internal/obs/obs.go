@@ -39,12 +39,17 @@ const (
 	KindDeliver
 	KindDrop
 	KindDup
+	KindAccess
+	KindData
+	KindRead
+	KindWrite
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"HandlerEnter", "HandlerExit", "Suspend", "Resume", "ContAlloc",
 	"Enqueue", "Dequeue", "NACK", "Send", "Deliver", "Drop", "Dup",
+	"Access", "Data", "Read", "Write",
 }
 
 func (k Kind) String() string {
@@ -70,11 +75,25 @@ func (k Kind) String() string {
 //	Deliver       block  pre-state  tag        src       -     -              flow id
 //	Drop          block  -          tag        dst       -     -              flow id
 //	Dup           block  -          tag        dst       -     -              flow id
+//	Access        block  -          -          -         -     new AccessMode -
+//	Data          block  -          tag        src       -     data version   -
+//	Read          block  -          -          -         -     version read   -
+//	Write         block  -          -          -         site  version made   -
 //
 // Drop and Dup are network fault injections (internal/netmodel): the event
 // is emitted at the *sending* node at send time. A Drop's flow id starts an
 // arrow that never ends — the lost message is visible in the Chrome trace
 // as a dangling flow; a Dup's flow id gains a second Deliver end.
+//
+// Access/Data/Read/Write are the memory-model events the Tempest machine
+// emits when sim.Config.ObsMemory is set; internal/oracle consumes them to
+// check coherence invariants independently of the protocol under test.
+// Access records a block-permission change (Arg = new sema.AccessMode).
+// Data records a data-carrying delivery installing a block version. Read
+// and Write are *completed* workload accesses: Read's Arg is the version
+// the node observed, Write's Arg the fresh version it created (Site is 1
+// when the store was performed by the protocol on the node's behalf — a
+// write-through completion that leaves the node's access read-only).
 //
 // Time is the virtual time stamped by the sink's clock (simulated cycles
 // under the Tempest machine) and Seq a strictly increasing sequence number;

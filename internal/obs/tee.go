@@ -1,0 +1,39 @@
+package obs
+
+// Tee fans an event stream out to several sinks (e.g. a Collector for
+// rendering plus an oracle for judging). Each sink sees every event;
+// SetClock is forwarded to the sinks that take a clock.
+type Tee struct {
+	sinks []Sink
+}
+
+// NewTee builds a tee over the non-nil sinks; returns nil if none remain
+// (so the result can be compared against nil like any optional sink).
+func NewTee(sinks ...Sink) *Tee {
+	t := &Tee{}
+	for _, s := range sinks {
+		if s != nil {
+			t.sinks = append(t.sinks, s)
+		}
+	}
+	if len(t.sinks) == 0 {
+		return nil
+	}
+	return t
+}
+
+// Emit implements Sink.
+func (t *Tee) Emit(ev Event) {
+	for _, s := range t.sinks {
+		s.Emit(ev)
+	}
+}
+
+// SetClock implements ClockSetter.
+func (t *Tee) SetClock(now func() int64) {
+	for _, s := range t.sinks {
+		if cs, ok := s.(ClockSetter); ok {
+			cs.SetClock(now)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package oracle judges executed protocol runs for memory coherence,
+// independently of the protocol under test. It consumes the obs event
+// stream a Tempest run emits under sim.Config.ObsMemory — access-mode
+// changes, data installs, and completed reads/writes, each carrying the
+// machine's modeled data versions — and checks per-block invariants:
+//
+//   - SWMR: at every handler boundary, a block has at most one read-write
+//     copy, and never a read-write copy alongside read-only copies
+//     (buffered-mode copies are exempt: weak-ordering protocols share
+//     buffered writers with readers by design).
+//   - ReadLatest: every completed read observes the version created by the
+//     most recent completed write of that block — the "reads return the
+//     value of the most recent write" half of coherence under the
+//     simulator's single linearization (its virtual-time event order).
+//   - NoLostWrites: at end of run, the latest version of every written
+//     block survives somewhere a future read could legally be served from
+//     (a node with a valid copy, or the block's home).
+//
+// The oracle knows nothing about the protocol's states or messages; it
+// trusts only the machine-level event stream. That makes it the executable
+// counterpart of the model checker's coherence invariant: mc proves SWMR
+// over all schedules of a small configuration, the oracle checks the full
+// data-value property on whichever schedules actually ran.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"teapot/internal/obs"
+	"teapot/internal/sema"
+)
+
+// Invariants selects which checks run. Data-value checks (ReadLatest,
+// NoLostWrites) assume an invalidation-style protocol where a completed
+// write makes every other copy unreadable; write-through and buffered
+// protocols (update, bufwrite) propagate values asynchronously and are
+// judged on SWMR only.
+type Invariants struct {
+	SWMR         bool
+	ReadLatest   bool
+	NoLostWrites bool
+}
+
+// AllInvariants enables every check.
+func AllInvariants() Invariants {
+	return Invariants{SWMR: true, ReadLatest: true, NoLostWrites: true}
+}
+
+// SWMROnly checks the access-control invariant alone.
+func SWMROnly() Invariants { return Invariants{SWMR: true} }
+
+// Config describes the run being judged.
+type Config struct {
+	Nodes  int
+	Blocks int
+	// HomeOf gives each block's home node (default id % Nodes), mirroring
+	// the machine's initial access map: the home starts read-write.
+	HomeOf func(id int) int
+	Inv    Invariants
+}
+
+// Violation is the first invariant failure observed, with the violating
+// event's position and the events leading up to it.
+type Violation struct {
+	Invariant string // "swmr" | "read-latest" | "no-lost-writes"
+	Node      int    // node whose access/copy violated (or -1)
+	Block     int
+	Detail    string
+	Seq       int64       // oracle sequence number of the violating event
+	Context   []obs.Event // up to the last contextSize events, oldest first
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("coherence violation (%s) at event %d, node %d, block %d: %s",
+		v.Invariant, v.Seq, v.Node, v.Block, v.Detail)
+}
+
+// ContextString renders the violation's event context one line per event.
+func (v *Violation) ContextString(names obs.Names) string {
+	var b strings.Builder
+	for _, ev := range v.Context {
+		fmt.Fprintf(&b, "  [%6d] t=%-8d node %d blk %d %s", ev.Seq, ev.Time, ev.Node, ev.Block, ev.Kind)
+		switch ev.Kind {
+		case obs.KindAccess:
+			fmt.Fprintf(&b, " -> %s", accName(sema.AccessMode(ev.Arg)))
+		case obs.KindData:
+			fmt.Fprintf(&b, " %s from node %d (v%d)", names.Message(ev.Msg), ev.Peer, ev.Arg)
+		case obs.KindRead, obs.KindWrite:
+			fmt.Fprintf(&b, " v%d", ev.Arg)
+		case obs.KindDeliver, obs.KindSend, obs.KindDrop, obs.KindDup:
+			fmt.Fprintf(&b, " %s peer %d", names.Message(ev.Msg), ev.Peer)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func accName(m sema.AccessMode) string {
+	switch m {
+	case sema.AccInvalid:
+		return "Invalid"
+	case sema.AccReadOnly:
+		return "ReadOnly"
+	case sema.AccReadWrite:
+		return "ReadWrite"
+	case sema.AccBuffered:
+		return "Buffered"
+	}
+	return fmt.Sprintf("Access(%d)", int(m))
+}
+
+const contextSize = 16
+
+// Checker is a streaming oracle: wire it as (part of) the run's obs sink,
+// then call Finish. The first violation is latched; later events are
+// still consumed (cheaply) but never overwrite it.
+type Checker struct {
+	cfg Config
+	now func() int64
+
+	access  []sema.AccessMode // node×block current mode
+	mem     []int64           // node×block installed version
+	version []int64           // per block: latest completed write
+	writer  []int32           // per block: node of latest write (-1 none)
+	dirty   []bool            // per block: access map changed since last SWMR eval
+
+	ring []obs.Event
+	seq  int64
+	v    *Violation
+}
+
+// New builds a checker for a run over nodes×blocks.
+func New(cfg Config) *Checker {
+	if cfg.HomeOf == nil {
+		nodes := cfg.Nodes
+		cfg.HomeOf = func(id int) int { return id % nodes }
+	}
+	c := &Checker{
+		cfg:     cfg,
+		access:  make([]sema.AccessMode, cfg.Nodes*cfg.Blocks),
+		mem:     make([]int64, cfg.Nodes*cfg.Blocks),
+		version: make([]int64, cfg.Blocks),
+		writer:  make([]int32, cfg.Blocks),
+		dirty:   make([]bool, cfg.Blocks),
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		c.access[cfg.HomeOf(b)*cfg.Blocks+b] = sema.AccReadWrite
+		c.writer[b] = -1
+	}
+	return c
+}
+
+// SetClock implements obs.ClockSetter; timestamps make the violation
+// context line up with Chrome traces of the same run.
+func (c *Checker) SetClock(now func() int64) { c.now = now }
+
+// Violation returns the first latched violation, or nil.
+func (c *Checker) Violation() *Violation { return c.v }
+
+// Emit implements obs.Sink.
+func (c *Checker) Emit(ev obs.Event) {
+	ev.Seq = c.seq
+	c.seq++
+	if c.now != nil {
+		ev.Time = c.now()
+	}
+	if len(c.ring) < contextSize {
+		c.ring = append(c.ring, ev)
+	} else {
+		copy(c.ring, c.ring[1:])
+		c.ring[contextSize-1] = ev
+	}
+	if c.v != nil {
+		return
+	}
+	switch ev.Kind {
+	case obs.KindAccess:
+		c.setAccess(int(ev.Node), int(ev.Block), sema.AccessMode(ev.Arg))
+	case obs.KindData:
+		c.mem[int(ev.Node)*c.cfg.Blocks+int(ev.Block)] = ev.Arg
+	case obs.KindDeliver, obs.KindDequeue:
+		// Handler boundary: transient mid-handler access states have
+		// settled, so the dirty blocks are judged now (mirroring mc, which
+		// checks invariants on post-handler states only).
+		c.evalDirty(ev)
+	case obs.KindRead:
+		c.evalDirty(ev)
+		if c.v != nil {
+			return
+		}
+		c.checkRead(ev)
+	case obs.KindWrite:
+		c.evalDirty(ev)
+		if c.v != nil {
+			return
+		}
+		c.checkWrite(ev)
+	}
+}
+
+func (c *Checker) setAccess(node, block int, mode sema.AccessMode) {
+	slot := node*c.cfg.Blocks + block
+	if c.access[slot] != mode {
+		c.access[slot] = mode
+		c.dirty[block] = true
+	}
+}
+
+// evalDirty re-checks SWMR on every block whose access map changed.
+func (c *Checker) evalDirty(at obs.Event) {
+	if !c.cfg.Inv.SWMR {
+		for b := range c.dirty {
+			c.dirty[b] = false
+		}
+		return
+	}
+	for b := 0; b < c.cfg.Blocks; b++ {
+		if !c.dirty[b] {
+			continue
+		}
+		c.dirty[b] = false
+		if c.v == nil {
+			c.checkSWMR(b, at)
+		}
+	}
+}
+
+func (c *Checker) checkSWMR(block int, at obs.Event) {
+	writers, readers := 0, 0
+	writerNode, readerNode := -1, -1
+	for n := 0; n < c.cfg.Nodes; n++ {
+		switch c.access[n*c.cfg.Blocks+block] {
+		case sema.AccReadWrite:
+			if writers == 0 {
+				writerNode = n
+			} else {
+				readerNode = n // second writer, for the report
+			}
+			writers++
+		case sema.AccReadOnly:
+			if readers == 0 {
+				readerNode = n
+			}
+			readers++
+		}
+	}
+	if writers > 1 {
+		c.fail("swmr", writerNode, block, at,
+			fmt.Sprintf("two read-write copies (nodes %d and %d)", writerNode, readerNode))
+	} else if writers == 1 && readers > 0 {
+		c.fail("swmr", writerNode, block, at,
+			fmt.Sprintf("read-write copy on node %d alongside %d read-only cop(y/ies) (e.g. node %d)",
+				writerNode, readers, readerNode))
+	}
+}
+
+func (c *Checker) checkRead(ev obs.Event) {
+	node, block := int(ev.Node), int(ev.Block)
+	mode := c.access[node*c.cfg.Blocks+block]
+	if mode != sema.AccReadOnly && mode != sema.AccReadWrite {
+		c.fail("swmr", node, block, ev,
+			fmt.Sprintf("read completed under %s access", accName(mode)))
+		return
+	}
+	if c.cfg.Inv.ReadLatest && ev.Arg != c.version[block] {
+		c.fail("read-latest", node, block, ev,
+			fmt.Sprintf("read observed version %d, latest write is version %d (by node %d)",
+				ev.Arg, c.version[block], c.writer[block]))
+	}
+}
+
+func (c *Checker) checkWrite(ev obs.Event) {
+	node, block := int(ev.Node), int(ev.Block)
+	mode := c.access[node*c.cfg.Blocks+block]
+	protocolPerformed := ev.Site != 0
+	writable := mode == sema.AccReadWrite || mode == sema.AccBuffered ||
+		(protocolPerformed && mode == sema.AccReadOnly)
+	if !writable {
+		c.fail("swmr", node, block, ev,
+			fmt.Sprintf("write completed under %s access", accName(mode)))
+		return
+	}
+	c.version[block] = ev.Arg
+	c.writer[block] = ev.Node
+	c.mem[node*c.cfg.Blocks+block] = ev.Arg
+}
+
+// Finish runs the end-of-run checks and returns the first violation seen
+// anywhere in the run (nil = coherent).
+func (c *Checker) Finish() *Violation {
+	end := obs.Event{Kind: obs.KindDeliver, Node: -1, Block: -1, Seq: c.seq}
+	if c.v == nil {
+		c.evalDirty(end)
+	}
+	if c.v == nil && c.cfg.Inv.NoLostWrites {
+		for b := 0; b < c.cfg.Blocks; b++ {
+			if c.version[b] == 0 {
+				continue // never written
+			}
+			if !c.survives(b) {
+				c.fail("no-lost-writes", int(c.writer[b]), b, end,
+					fmt.Sprintf("latest write (version %d by node %d) survives on no valid copy and not at home node %d",
+						c.version[b], c.writer[b], c.cfg.HomeOf(b)))
+			}
+			if c.v != nil {
+				break
+			}
+		}
+	}
+	return c.v
+}
+
+// survives reports whether block b's latest version could still serve a
+// future read: held by a node with a valid (readable) copy, or present at
+// the block's home — the fallback server every directory protocol refills
+// from.
+func (c *Checker) survives(b int) bool {
+	for n := 0; n < c.cfg.Nodes; n++ {
+		if c.mem[n*c.cfg.Blocks+b] != c.version[b] {
+			continue
+		}
+		mode := c.access[n*c.cfg.Blocks+b]
+		if mode == sema.AccReadOnly || mode == sema.AccReadWrite || n == c.cfg.HomeOf(b) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Checker) fail(inv string, node, block int, at obs.Event, detail string) {
+	ctx := make([]obs.Event, len(c.ring))
+	copy(ctx, c.ring)
+	c.v = &Violation{
+		Invariant: inv,
+		Node:      node,
+		Block:     block,
+		Detail:    detail,
+		Seq:       at.Seq,
+		Context:   ctx,
+	}
+}

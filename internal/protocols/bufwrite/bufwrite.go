@@ -102,11 +102,23 @@ begin
     WakeUp(id);
   end;
 
-  -- We lost the race: give up the copy and wait for the full grant.
+  -- We lost the race: the read copy is gone, but new stores keep landing
+  -- in the write buffer while the full grant is fetched. Dropping to
+  -- Blk_Invalidate here would let a store fault as WR_FAULT, which no
+  -- state on this path handles — the deferred fault would resurface in
+  -- Cache_RW after the grant and kill the run.
   message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
   begin
     Send(HomeNode(id), PUT_NO_DATA_RESP, id);
-    AccessChange(id, Blk_Invalidate);
+    AccessChange(id, Blk_Buffered);
+  end;
+
+  -- A load after the lost race (the old copy no longer serves reads):
+  -- stall until the full grant arrives.
+  message RD_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Suspend(L, Cache_SyncUpgrade{L});
+    WakeUp(id);
   end;
 
   message SYNC (id : ID; var info : INFO; src : NODE)

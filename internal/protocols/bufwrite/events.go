@@ -3,6 +3,7 @@ package bufwrite
 import (
 	"teapot/internal/mc"
 	"teapot/internal/runtime"
+	"teapot/internal/sema"
 )
 
 // Events generates loads, stores, and synchronization operations randomly
@@ -63,8 +64,17 @@ func (g *Events) Enabled(w *mc.World, node, block int) []mc.Event {
 		}
 	case "Cache_Buf_Upgrade":
 		evs := []mc.Event{syncEv}
-		if g.bufferedSlot >= 0 && w.BlockVarInt(node, block, g.bufferedSlot) < g.MaxBuffered {
-			evs = append(evs, mc.Event{Name: "WR_RO_FAULT", Tag: g.wrro, Stalls: true})
+		switch w.Access(node, block) {
+		case sema.AccReadOnly:
+			// Upgrade still pending with the read copy intact: stores
+			// fault read-only and accumulate in the buffer (bounded).
+			if g.bufferedSlot >= 0 && w.BlockVarInt(node, block, g.bufferedSlot) < g.MaxBuffered {
+				evs = append(evs, mc.Event{Name: "WR_RO_FAULT", Tag: g.wrro, Stalls: true})
+			}
+		case sema.AccBuffered:
+			// The copy was recalled mid-upgrade: stores buffer silently,
+			// loads fault and stall for the grant.
+			evs = append(evs, mc.Event{Name: "RD_FAULT", Tag: g.rd, Stalls: true})
 		}
 		return evs
 	case "Home_RS":

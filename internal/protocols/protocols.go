@@ -37,6 +37,7 @@ func All() []Entry {
 		{Name: "stache-ft", Config: cfg("stache-ft", stache.FTSource, "Home_Idle")},
 		{Name: "stache-cas", Config: cfg("stache-cas", stache.CASSource, "Home_Idle")},
 		{Name: "stache-buggy", Config: cfg("stache-buggy", stache.BuggySource, "Home_Idle"), Buggy: true},
+		{Name: "stache-ft-buggy", Config: cfg("stache-ft-buggy", stache.FTBuggySource, "Home_Idle"), Buggy: true},
 		{Name: "lcm", Config: cfg("lcm", lcm.Source(lcm.Base), "Home_Idle")},
 		{Name: "lcm-update", Config: cfg("lcm-update", lcm.Source(lcm.Update), "Home_Idle")},
 		{Name: "lcm-mcc", Config: cfg("lcm-mcc", lcm.Source(lcm.MCC), "Home_Idle")},

@@ -39,6 +39,14 @@ func Spec(name string, nodes, blocks int) (core.RunSpec, error) {
 		spec.Proto = p
 		spec.Support = stache.MustSupport(p)
 		spec.Events = stache.NewEvents(p)
+	case "stache-ft-buggy":
+		a, err := stache.CompileFTBuggy()
+		if err != nil {
+			return spec, err
+		}
+		spec.Proto = a.Protocol
+		spec.Support = stache.MustFTSupport(a.Protocol, nodes)
+		spec.Events = stache.NewEvents(a.Protocol)
 	case "bufwrite":
 		a := bufwrite.MustCompile(true)
 		spec.Proto = a.Protocol
@@ -62,7 +70,7 @@ func Spec(name string, nodes, blocks int) (core.RunSpec, error) {
 		spec.Support = update.MustSupport(a.Protocol)
 		spec.Events = update.NewEvents(a.Protocol)
 	default:
-		return spec, fmt.Errorf("no runnable spec for protocol %q (try: stache, stache-ft, stache-buggy, bufwrite, lcm, lcm-mcc, update)", name)
+		return spec, fmt.Errorf("no runnable spec for protocol %q (try: stache, stache-ft, stache-buggy, stache-ft-buggy, bufwrite, lcm, lcm-mcc, update)", name)
 	}
 	return spec, nil
 }

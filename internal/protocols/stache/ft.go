@@ -1,6 +1,7 @@
 package stache
 
 import (
+	"fmt"
 	"strings"
 
 	"teapot/internal/core"
@@ -26,16 +27,23 @@ import (
 // Scope: the variant is verified at 2 nodes (the scale the paper's §6
 // verification runs use) for any drop budget the sweeps exercise (up to
 // drop=3), for reorder=1, and for at most ONE duplicate (dup=1, drop=1,dup=1,
-// drop=2,dup=1 all verify). dup=2 finds a genuine violation: two duplicates
-// let a stale request copy earn an unrequested re-grant while a stale
-// PUT_NO_DATA_RESP copy substitutes for the fresh invalidation ack the home
-// is waiting on — without per-message sequence numbers the home cannot tell
-// the copies apart, so a single-duplicate budget is the verified envelope of
-// any epoch-less protocol. Block data movement is abstract (SendData/RecvData
-// move permissions, not bytes), which lets Cache_Inv re-answer a writeback
-// recall after its response was lost; a real implementation would retain the
-// dirty copy until the writeback is acknowledged, and would tag messages
-// with epochs (sequence numbers) to lift the single-duplicate limit.
+// drop=2,dup=1 all verify); and at 3 nodes for drop budgets up to 3 and for
+// reorder=1. The 3-node drop envelope is owed to two acknowledgement guards
+// the schedule fuzzer forced: ack collection is gated on the 'awaiting'
+// bitmask (see ftAwaitInvAcksAck) and writebacks on the recalled owner (see
+// ftAwaitPutDataResp) — without them a bystander node's volunteered answer
+// substitutes for a lost one and the checker finds an SWMR violation at
+// three nodes within 2112 states. Duplicate budgets do NOT verify at 3
+// nodes, and 2-node combos beyond the list above (e.g.
+// drop=1,dup=1,reorder=1) also fail: a duplicated grant or writeback from
+// the SAME node can straddle two recall epochs, and without per-message
+// sequence numbers the receiver cannot tell the copies apart — the
+// documented envelope of any epoch-less protocol. Block data movement is
+// abstract (SendData/RecvData move permissions, not bytes), which lets
+// Cache_Inv re-answer a writeback recall after its response was lost; a real
+// implementation would retain the dirty copy until the writeback is
+// acknowledged, and would tag messages with epochs (sequence numbers) to
+// lift the duplicate limits.
 
 // ftDecls extends the protocol declaration block.
 const ftDecls = `
@@ -49,15 +57,20 @@ const ftDecls = `
   state Cache_Inv_To_RW_P(C : CONT) transient;
 `
 
-// ftModule declares the retransmission support routine.
+// ftModule declares the retransmission support routines.
 const ftModule = `
 module StacheFTSupport begin
-  -- Re-sends PUT_NO_DATA_REQ to every node except this one. After a lost
-  -- acknowledgement the home cannot tell which node still owes one (an
-  -- evicted node is no longer in the sharer set but may have lost its
-  -- ack), so the retransmission over-approximates; every cache state
-  -- answers the request idempotently.
+  -- Re-sends PUT_NO_DATA_REQ to exactly the nodes still owing an
+  -- acknowledgement (the 'awaiting' bitmask InvalidateSharers recorded);
+  -- every cache state answers the request idempotently, so a node whose
+  -- first invalidation or ack was lost re-answers from wherever it is.
   procedure ResendInvalidates(var info : INFO; id : ID);
+  -- True iff 'src' still owes an invalidation ack; clears its bit. Gating
+  -- Home_AwaitInvAcks on this is what makes ack collection sound beyond
+  -- two nodes: a volunteered answer from a node that owes nothing (or a
+  -- duplicate of an ack already counted) must not substitute for the one
+  -- still outstanding.
+  function TakeAwaiting(var info : INFO; src : NODE) : bool;
 end;
 `
 
@@ -373,12 +386,72 @@ const ftHomeAwaitPutData = `
   end;
 `
 
+// baseAwaitPutDataResp is the writeback handler ftAwaitPutDataResp
+// replaces (must match source.go verbatim). The base resumes on any
+// PUT_DATA_RESP, which is sound while only one recall can be in flight;
+// with duplication and a third node, a copied writeback from the previous
+// owner's epoch can arrive while the home is recalling from the *next*
+// owner and substitute for that node's surrender — the home proceeds
+// while the recalled node still holds read-write (two writers).
+const baseAwaitPutDataResp = `  message PUT_DATA_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RecvData(id, Blk_ReadOnly);
+    Resume(C);
+  end;
+`
+
+// ftAwaitPutDataResp accepts a writeback only from the node being
+// recalled: every PUT_DATA_REQ is addressed to 'owner', and owner is not
+// reassigned until the wait resumes, so the expected responder is always
+// the current owner. Anything else is a stale duplicate.
+const ftAwaitPutDataResp = `  message PUT_DATA_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    if (src = owner) then
+      RecvData(id, Blk_ReadOnly);
+      Resume(C);
+    else
+      -- FT: a duplicated writeback from a former owner's epoch.
+      Drop();
+    endif;
+  end;
+`
+
 const ftHomeAwaitInvAcks = `
   -- FT: an invalidation or its acknowledgement was lost; re-invalidate
-  -- every other node (see StacheFTSupport.ResendInvalidates).
+  -- the nodes still owing an ack (see StacheFTSupport.ResendInvalidates).
   message TIMEOUT (id : ID; var info : INFO; src : NODE)
   begin
     ResendInvalidates(info, id);
+  end;
+`
+
+// baseAwaitInvAcksAck is the ack handler ftAwaitInvAcksAck replaces (must
+// match source.go verbatim). The base counts acknowledgements blindly —
+// one Resume per message — which is sound on a perfect network where only
+// solicited acks exist, but unsound once TIMEOUT retransmission makes
+// caches answer invalidations they were never sent: at three or more
+// nodes a bystander's volunteered PUT_NO_DATA_RESP can substitute for the
+// lost ack of a node still holding a read-only copy, and the home
+// upgrades to read-write alongside it (the fuzzer found exactly this, and
+// the checker confirmed it with an 8-step counterexample).
+const baseAwaitInvAcksAck = `  message PUT_NO_DATA_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    RemoveSharer(info, src);
+    Resume(C);
+  end;
+`
+
+// ftAwaitInvAcksAck counts an ack only from a node recorded as owing one.
+const ftAwaitInvAcksAck = `  message PUT_NO_DATA_RESP (id : ID; var info : INFO; src : NODE)
+  begin
+    if (TakeAwaiting(info, src)) then
+      RemoveSharer(info, src);
+      Resume(C);
+    else
+      -- FT: a duplicate of an ack this wait already counted, or a
+      -- volunteered answer from a node that owes nothing.
+      Drop();
+    endif;
   end;
 `
 
@@ -478,8 +551,13 @@ var FTSource = func() string {
 		}
 		src = out
 	}
+	replace("  var sharers : int;    -- sharer bitmask, managed by the support module",
+		"  var sharers : int;    -- sharer bitmask, managed by the support module\n"+
+			"  var awaiting : int;   -- FT: nodes owing an invalidation ack, managed by the support module")
 	replace(baseHomeRSGetRO, ftHomeRSGetRO)
 	replace(baseHomeExclGetRW, ftHomeExclGetRW+ftHomeExclUpgrade)
+	replace(baseAwaitInvAcksAck, ftAwaitInvAcksAck)
+	replace(baseAwaitPutDataResp, ftAwaitPutDataResp)
 	insert := func(stateMarker, handlers string) {
 		at := strings.Index(src, stateMarker)
 		if at < 0 {
@@ -508,9 +586,38 @@ var FTSource = func() string {
 	return ftModule + src + ftCacheInvToRWP
 }()
 
+// ftBuggyTarget is the recall-during-upgrade handler body whose
+// invalidation FTBuggySource removes (must match ftCacheROToRW verbatim).
+const ftBuggyTarget = `    SendData(HomeNode(id), PUT_DATA_RESP, id);
+    AccessChange(id, Blk_Invalidate);
+    SetState(info, Cache_Inv_To_RW_P{C});`
+
+// FTBuggySource is stache-ft with the invalidation dropped from the
+// recall-during-upgrade handler: the cache surrenders ownership (answers
+// PUT_DATA_RESP and poisons its pending fill) but keeps its read
+// mapping. The omission is silent on a perfect network — the handler only
+// runs after a recall overtakes or replaces a lost UPGRADE_ACK — and then
+// lets this node read stale data while the recall's beneficiary writes: a
+// single-writer-multiple-reader violation only a faulted schedule can
+// surface, shipped as the fuzzer's seeded-bug fixture.
+var FTBuggySource = func() string {
+	buggy := `    SendData(HomeNode(id), PUT_DATA_RESP, id);
+    SetState(info, Cache_Inv_To_RW_P{C});`
+	out := strings.Replace(FTSource, ftBuggyTarget, buggy, 1)
+	if out == FTSource {
+		panic("stache-ft-buggy: handler marker not found")
+	}
+	return out
+}()
+
 // CompileFT compiles the fault-tolerant variant.
 func CompileFT(optimize bool) (*core.Artifacts, error) {
 	return compileSource("stache-ft.tea", FTSource, optimize)
+}
+
+// CompileFTBuggy compiles the seeded-bug fault-tolerant variant.
+func CompileFTBuggy() (*core.Artifacts, error) {
+	return compileSource("stache-ft-buggy.tea", FTBuggySource, true)
 }
 
 // MustCompileFT panics on compile errors (the embedded source is tested).
@@ -522,12 +629,16 @@ func MustCompileFT(optimize bool) *core.Artifacts {
 	return a
 }
 
-// FTSupport extends the Stache support module with the retransmission
-// routine, which needs the machine size: it re-invalidates every node, not
-// just the recorded sharer set (see ftModule).
+// FTSupport extends the Stache support module with precise retransmission
+// bookkeeping: the per-block 'awaiting' variable records exactly which
+// nodes were sent an invalidation and have not been counted yet, so
+// ResendInvalidates re-targets only them and TakeAwaiting keeps a
+// volunteered or duplicated ack from substituting for an outstanding one
+// (see ftModule).
 type FTSupport struct {
 	*Support
-	nodes int
+	nodes        int
+	awaitingSlot int
 }
 
 // NewFTSupport builds the fault-tolerant support module.
@@ -536,7 +647,16 @@ func NewFTSupport(p *runtime.Protocol, nodes int) (*FTSupport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FTSupport{Support: s, nodes: nodes}, nil
+	ft := &FTSupport{Support: s, nodes: nodes, awaitingSlot: -1}
+	for _, v := range p.Sema().ProtVars {
+		if v.Name == "awaiting" {
+			ft.awaitingSlot = v.Index
+		}
+	}
+	if ft.awaitingSlot < 0 {
+		return nil, fmt.Errorf("stache-ft support: protocol lacks an 'awaiting' variable")
+	}
+	return ft, nil
 }
 
 // MustFTSupport panics on error.
@@ -548,12 +668,37 @@ func MustFTSupport(p *runtime.Protocol, nodes int) *FTSupport {
 	return s
 }
 
+func (s *FTSupport) awaiting(ctx *runtime.Ctx) int64 {
+	return ctx.Block.Vars[s.awaitingSlot].Int
+}
+
+func (s *FTSupport) setAwaiting(ctx *runtime.Ctx, m int64) {
+	ctx.Block.Vars[s.awaitingSlot] = vm.IntVal(m)
+}
+
 // Call implements runtime.Support.
 func (s *FTSupport) Call(ctx *runtime.Ctx, name string, args []*vm.Value) (vm.Value, error) {
-	if name == "ResendInvalidates" {
+	switch name {
+	case "InvalidateSharers":
+		// Record exactly the set the base routine is about to invalidate:
+		// every current sharer except the excluded requester. These are
+		// the nodes whose acks the wait loop may count.
+		excl := args[1].Int
+		s.setAwaiting(ctx, s.mask(ctx)&^(1<<uint(excl)))
+		return s.Support.Call(ctx, name, args)
+	case "TakeAwaiting":
+		n := args[1].Int
+		m := s.awaiting(ctx)
+		if m&(1<<uint(n)) == 0 {
+			return vm.BoolVal(false), nil
+		}
+		s.setAwaiting(ctx, m&^(1<<uint(n)))
+		return vm.BoolVal(true), nil
+	case "ResendInvalidates":
 		id := int(args[1].Int)
+		m := s.awaiting(ctx)
 		for n := 0; n < s.nodes; n++ {
-			if n == ctx.Engine.Node {
+			if m&(1<<uint(n)) == 0 {
 				continue
 			}
 			ctx.Engine.Sends++

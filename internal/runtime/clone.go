@@ -32,6 +32,15 @@ func (e *Engine) Clone(m Machine, codec AbstractCodec) (*Engine, error) {
 		QueueRecords: e.QueueRecords,
 		Sends:        e.Sends,
 	}
+	c.timeoutTag = e.timeoutTag
+	if c.timeoutTag >= 0 {
+		c.armer, _ = m.(TimeoutArmer)
+	}
+	if c.armer != nil {
+		c.timerFor = make([]int32, len(e.timerFor))
+		copy(c.timerFor, e.timerFor)
+	}
+	c.dataMachine, _ = m.(DataMachine)
 	// Clones never inherit observability: the tracer interface pointer in
 	// the copied Exec still aims at the original engine, and the checker
 	// clones concurrently while sinks are single-goroutine.

@@ -25,6 +25,12 @@ type Message struct {
 	Payload []vm.Value
 	Data    bool // message carries the block's data
 
+	// Val is the modeled data version a data-carrying message transports
+	// (stamped by machines that model block contents — the Tempest machine
+	// under sim.Config.ObsMemory). Like flow it is advisory instrumentation:
+	// not part of the canonical encoding, never read by protocol code.
+	Val int64
+
 	// flow correlates a Send event with the Deliver of the same message in
 	// an observability trace. Assigned only while a sink is attached; not
 	// part of the canonical encoding.
@@ -97,6 +103,18 @@ type TimeoutArmer interface {
 	ArmTimeout(node, id int)
 	// CancelTimeout invalidates any pending timer for (node, block).
 	CancelTimeout(node, id int)
+}
+
+// DataMachine is the optional machine extension for substrates that model
+// block *contents*, not just access modes. When the machine implements it,
+// the engine routes RecvData through RecvDataMsg with the actual message so
+// the machine can install the transported data version — the plain
+// Machine.RecvData signature cannot see which message is being processed
+// (a deferred-queue drain makes "the current message" engine-internal
+// state). Implementations must apply the same access-mode change
+// Machine.RecvData would.
+type DataMachine interface {
+	RecvDataMsg(node, id int, mode sema.AccessMode, m *Message)
 }
 
 // Support supplies the implementations of module routines and abstract
@@ -182,6 +200,16 @@ type Engine struct {
 	// hook in Deliver a no-op.
 	timeoutTag int
 	armer      TimeoutArmer
+	// timerFor[id] is the state the block's timer was armed in (-1 =
+	// unarmed). The timer is armed on *entry* into a TIMEOUT-declaring
+	// state and re-armed after a TIMEOUT fires — never reset by other
+	// deliveries, or a steady drip of incoming retries (each under the
+	// timeout interval apart) would postpone recovery forever.
+	timerFor []int32
+
+	// dataMachine is the machine's optional data-modeling extension (see
+	// DataMachine); nil when the machine tracks access modes only.
+	dataMachine DataMachine
 }
 
 // NewEngine builds an engine for a node managing numBlocks blocks.
@@ -192,6 +220,13 @@ func NewEngine(p *Protocol, node, numBlocks int, m Machine, sup Support) *Engine
 	if e.timeoutTag >= 0 {
 		e.armer, _ = m.(TimeoutArmer)
 	}
+	if e.armer != nil {
+		e.timerFor = make([]int32, numBlocks)
+		for i := range e.timerFor {
+			e.timerFor[i] = -1
+		}
+	}
+	e.dataMachine, _ = m.(DataMachine)
 	e.Blocks = make([]*Block, numBlocks)
 	for i := range e.Blocks {
 		e.Blocks[i] = e.newBlock(i)
@@ -255,24 +290,34 @@ func (e *Engine) Deliver(m *Message) error {
 	if err := e.drain(b); err != nil {
 		return err
 	}
-	e.updateTimer(b)
+	e.updateTimer(b, m.Tag == e.timeoutTag)
 	return nil
 }
 
 // updateTimer keeps the machine's per-block timer in sync with the block's
-// state after a completed delivery: armed exactly while the state declares
-// an explicit TIMEOUT handler (DEFAULT does not count — a defaulted TIMEOUT
+// state after a completed delivery: armed while the state declares an
+// explicit TIMEOUT handler (DEFAULT does not count — a defaulted TIMEOUT
 // would hit the state's Enqueue/Error policy, which is never what a timer
-// means). No-op unless both the protocol declares TIMEOUT and the machine
+// means). The timer is (re)armed only on entry into such a state, or after
+// a TIMEOUT fired while remaining in one — an ordinary delivery that leaves
+// the state unchanged must not reset it, or a steady drip of peer retries
+// would postpone the timeout forever (the checker's nondeterministic
+// TIMEOUT has no such starvation, and the simulator must not either).
+// No-op unless both the protocol declares TIMEOUT and the machine
 // implements TimeoutArmer.
-func (e *Engine) updateTimer(b *Block) {
+func (e *Engine) updateTimer(b *Block, fired bool) {
 	if e.armer == nil {
 		return
 	}
+	state := int32(b.State.State)
 	if _, ok := e.Proto.IR.HandlerFunc[b.State.State][e.timeoutTag]; ok {
-		e.armer.ArmTimeout(e.Node, b.ID)
-	} else {
+		if e.timerFor[b.ID] != state || fired {
+			e.armer.ArmTimeout(e.Node, b.ID)
+			e.timerFor[b.ID] = state
+		}
+	} else if e.timerFor[b.ID] >= 0 {
 		e.armer.CancelTimeout(e.Node, b.ID)
+		e.timerFor[b.ID] = -1
 	}
 }
 
@@ -456,6 +501,10 @@ func (e *Engine) AccessChange(id vm.Value, mode sema.AccessMode) error {
 func (e *Engine) RecvData(id vm.Value, mode sema.AccessMode) error {
 	if !e.cur.msg.Data {
 		return e.errf(e.cur.block, "RecvData on message %s which carries no data", e.msgName(e.cur.msg.Tag))
+	}
+	if e.dataMachine != nil {
+		e.dataMachine.RecvDataMsg(e.Node, int(id.Int), mode, e.cur.msg)
+		return nil
 	}
 	e.Machine.RecvData(e.Node, int(id.Int), mode)
 	return nil

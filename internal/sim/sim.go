@@ -34,6 +34,21 @@ type Config struct {
 	// NACK bounce path), so Net.MaxCorrupts must be 0 here.
 	Net  netmodel.Model
 	Seed uint64
+
+	// Sched, when set, replaces the seeded stochastic injection with
+	// explicit schedule control: every nondeterministic decision (fault
+	// fate, bounded reordering, same-cycle ties) is delegated to the
+	// chooser. internal/fuzz records and replays these as Schedules.
+	Sched tempest.Chooser
+
+	// ObsMemory turns on the tempest data-version model so the run emits
+	// the memory events internal/oracle judges.
+	ObsMemory bool
+
+	// MaxEvents caps the run's event budget (0 = tempest's default). The
+	// fuzzer sets a small budget so a livelocked schedule returns an error
+	// instead of spinning toward the 100M-event safety net.
+	MaxEvents int64
 }
 
 // Run executes the workload to completion.
@@ -59,6 +74,10 @@ func Run(cfg Config) (*tempest.Stats, error) {
 		Program: prog,
 		Net:     cfg.Net,
 		Seed:    cfg.Seed,
+
+		Sched:     cfg.Sched,
+		ObsMemory: cfg.ObsMemory,
+		MaxEvents: cfg.MaxEvents,
 	}
 	m := tempest.New(tc)
 	eng := cfg.MakeEngine(m)

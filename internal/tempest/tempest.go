@@ -198,6 +198,18 @@ type Config struct {
 	// on is dropped.
 	Net  netmodel.Model
 	Seed uint64
+
+	// Sched, when set, takes over every nondeterministic decision (fault
+	// injection, bounded channel reordering, same-cycle event order) from
+	// the seeded RNG; see ChoiceKind. The fuzzer records and replays these
+	// decisions as Schedules.
+	Sched Chooser
+
+	// ObsMemory turns on the data-version model: completed accesses and
+	// data movement are emitted as obs events (KindAccess/Data/Read/Write)
+	// for the coherence oracle. Off by default — large workloads emit one
+	// event per access.
+	ObsMemory bool
 }
 
 // Stats summarizes a run.
@@ -242,6 +254,18 @@ type Machine struct {
 	inj      *netmodel.Injector
 	timerGen []int64
 	obs      obs.Sink
+
+	// Schedule control (Config.Sched): per-channel in-flight counts and
+	// held-back deliveries for the bounded-reorder choice.
+	sched    Chooser
+	inflight []int
+	held     [][]heldMsg
+
+	// Data-version model (Config.ObsMemory): mem is each node's copy of
+	// each block (as a version number), version the latest committed
+	// version per block.
+	mem     []int64
+	version []int64
 
 	stats Stats
 	err   error
@@ -307,6 +331,15 @@ func New(cfg Config) *Machine {
 	}
 	m.stats.NodeCycles = make([]int64, cfg.Nodes)
 	m.atBarrier = make([]bool, cfg.Nodes)
+	m.sched = cfg.Sched
+	if m.sched != nil && cfg.Net.Reorder > 0 {
+		m.inflight = make([]int, cfg.Nodes*cfg.Nodes)
+		m.held = make([][]heldMsg, cfg.Nodes*cfg.Nodes)
+	}
+	if cfg.ObsMemory {
+		m.mem = make([]int64, cfg.Nodes*cfg.Blocks)
+		m.version = make([]int64, cfg.Blocks)
+	}
 	for n := range m.stalledOn {
 		m.stalledOn[n] = -1
 	}
@@ -336,8 +369,11 @@ func (m *Machine) Access(node, id int) sema.AccessMode {
 // and a delayed one is held back Delay extra latencies.
 func (m *Machine) Send(from, dst int, msg *runtime.Message) {
 	m.stats.Messages++
+	if m.mem != nil && msg.Data && msg.ID >= 0 && msg.ID < m.cfg.Blocks {
+		msg.Val = m.mem[from*m.cfg.Blocks+msg.ID]
+	}
 	lat := m.cfg.Cost.NetLatency
-	switch m.inj.Next() {
+	switch m.netFault() {
 	case netmodel.FaultDrop:
 		m.stats.Drops++
 		m.emitFault(obs.KindDrop, from, dst, msg)
@@ -349,12 +385,23 @@ func (m *Machine) Send(from, dst int, msg *runtime.Message) {
 		// Same arrival time, later heap sequence: the copy lands right
 		// behind the original, so duplication never reorders a channel
 		// (matching the checker's fault model).
+		m.trackInflight(from, dst)
 		m.schedule(&event{at: m.now + lat, kind: 0, node: dst, msg: &c})
 	case netmodel.FaultDelay:
 		m.stats.Delays++
 		lat += int64(m.cfg.Net.Delay) * m.cfg.Cost.NetLatency
 	}
+	m.trackInflight(from, dst)
 	m.schedule(&event{at: m.now + lat, kind: 0, node: dst, msg: msg})
+}
+
+// trackInflight counts a scheduled delivery on its channel (schedule
+// control with a reorder budget only; drops never count — they are decided
+// at send time, so a held message can never wait on a lost arrival).
+func (m *Machine) trackInflight(from, dst int) {
+	if m.inflight != nil {
+		m.inflight[m.chanIndex(from, dst)]++
+	}
 }
 
 // SetObs attaches a sink for the machine's own fault events (Drop/Dup);
@@ -407,12 +454,15 @@ func (m *Machine) fireTimer(e *event) {
 
 // AccessChange implements runtime.Machine.
 func (m *Machine) AccessChange(node, id int, mode sema.AccessMode) {
-	m.access[node*m.cfg.Blocks+id] = mode
+	m.setAccess(node, id, mode)
 }
 
-// RecvData implements runtime.Machine.
+// RecvData implements runtime.Machine. The engine routes data deliveries
+// through RecvDataMsg (runtime.DataMachine) instead, which also installs
+// the transported data version; this remains for hand-written engines that
+// call the machine directly.
 func (m *Machine) RecvData(node, id int, mode sema.AccessMode) {
-	m.access[node*m.cfg.Blocks+id] = mode
+	m.setAccess(node, id, mode)
 }
 
 // WakeUp implements runtime.Machine: unstall and resume the processor.
@@ -440,6 +490,7 @@ func (m *Machine) WakeUp(node, id int) {
 		if ok {
 			m.nodeTime[node] += m.cfg.Cost.MemAccess
 			m.stats.Accesses++
+			m.noteOp(node, op, op.Kind == OpWrite && acc == sema.AccReadOnly)
 			m.pendingOp[node] = nil
 		}
 	}
@@ -480,6 +531,9 @@ func (m *Machine) Run() (*Stats, error) {
 			return nil, fmt.Errorf("tempest: event budget exhausted (livelock?)")
 		}
 		e := heap.Pop(&m.queue).(*event)
+		if m.sched != nil && m.queue.Len() > 0 && m.queue[0].at == e.at {
+			e = m.pickTie(e)
+		}
 		m.now = e.at
 		switch e.kind {
 		case 0:
@@ -491,6 +545,12 @@ func (m *Machine) Run() (*Stats, error) {
 		}
 		if m.err != nil {
 			return nil, m.err
+		}
+	}
+	for ch := range m.held {
+		if len(m.held[ch]) > 0 {
+			return nil, fmt.Errorf("tempest: internal error: %d message(s) still held on channel %d→%d",
+				len(m.held[ch]), ch/m.cfg.Nodes, ch%m.cfg.Nodes)
 		}
 	}
 	for n, stalled := range m.stalledOn {
@@ -516,17 +576,27 @@ func (m *Machine) Run() (*Stats, error) {
 }
 
 // deliver runs a protocol handler for an incoming message. Handlers
-// execute on the destination node and occupy its processor.
+// execute on the destination node and occupy its processor. Under schedule
+// control with a reorder budget the arrival first passes through the
+// hold/release choice (see arrive).
 func (m *Machine) deliver(e *event) {
-	start := m.nodeTime[e.node]
+	if m.inflight != nil {
+		m.arrive(e.node, e.msg)
+		return
+	}
+	m.deliverMsg(e.node, e.msg)
+}
+
+func (m *Machine) deliverMsg(node int, msg *runtime.Message) {
+	start := m.nodeTime[node]
 	if start < m.now {
 		start = m.now
 	}
-	if err := m.cfg.Engine.Deliver(e.node, e.msg); err != nil {
+	if err := m.cfg.Engine.Deliver(node, msg); err != nil {
 		m.err = err
 		return
 	}
-	m.nodeTime[e.node] = m.chargeProtocol(e.node, start)
+	m.nodeTime[node] = m.chargeProtocol(node, start)
 }
 
 // step executes the node's next workload operation(s).
@@ -559,6 +629,7 @@ func (m *Machine) step(node int) {
 			if accessOK(op.Kind, acc) {
 				m.stats.Accesses++
 				m.nodeTime[node] += m.cfg.Cost.MemAccess
+				m.noteOp(node, &op, false)
 				break
 			}
 			// Access fault: trap, run the protocol handler, stall.
