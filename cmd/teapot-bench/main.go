@@ -65,7 +65,12 @@ func main() {
 			check(err)
 			obsRows, err := bench.ObsBench(8, 3)
 			check(err)
-			data, err := json.MarshalIndent(bench.MCBaseline{MC: mcRows, Obs: obsRows, Faults: faultRows}, "", "  ")
+			symRows, err := bench.SymmetrySweep(*workers)
+			check(err)
+			fmt.Print(bench.FormatSymmetry(symRows))
+			fmt.Println()
+			data, err := json.MarshalIndent(bench.MCBaseline{
+				MC: mcRows, Obs: obsRows, Faults: faultRows, Symmetry: symRows}, "", "  ")
 			check(err)
 			check(os.WriteFile(*mcOut, append(data, '\n'), 0o644))
 			fmt.Printf("checker throughput + obs baseline written to %s (workers %v)\n\n", *mcOut, counts)

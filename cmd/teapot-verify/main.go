@@ -24,6 +24,7 @@ func main() {
 	run := cliflags.AddRun(flag.CommandLine, "stache", 2, 1)
 	var (
 		maxState = flag.Int("max-states", 0, "abort after exploring this many states (0 = unlimited)")
+		symmetry = flag.String("symmetry", "auto", "symmetry reduction: auto (reduce when the static certificate and support vouches allow) | off | on (fail unless reduction is possible)")
 		progress = flag.String("progress", "auto", "live per-layer progress on stderr: auto (only when stderr is a terminal) | always | never")
 		stats    = flag.Bool("stats", false, "print a final exploration stats block")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -50,6 +51,11 @@ func main() {
 		os.Exit(1)
 	}
 	spec.MaxStates = *maxState
+	spec.Symmetry, err = mc.ParseSymmetryMode(*symmetry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, cliflags.BadFlag("teapot-verify", "symmetry", *symmetry, "auto, off, or on"))
+		os.Exit(1)
+	}
 
 	switch *progress {
 	case "always", "auto", "never":
@@ -102,8 +108,15 @@ func main() {
 	if s := spec.Net.String(); s != "" {
 		net = fmt.Sprintf(", net %s", s)
 	}
-	fmt.Printf("protocol %s: %d states, %d transitions, depth %d, %d workers%s, %s\n",
-		*run.Proto, res.States, res.Transitions, res.MaxDepth, res.Workers, net, res.Elapsed)
+	sym := ""
+	if res.SymmetryGroup > 1 {
+		sym = fmt.Sprintf(", symmetry /%d", res.SymmetryGroup)
+	}
+	fmt.Printf("protocol %s: %d states, %d transitions, depth %d, %d workers%s%s, %s\n",
+		*run.Proto, res.States, res.Transitions, res.MaxDepth, res.Workers, net, sym, res.Elapsed)
+	if res.SymmetryNote != "" {
+		fmt.Printf("  symmetry reduction off: %s\n", res.SymmetryNote)
+	}
 	if *stats {
 		rate := 0.0
 		if s := res.Elapsed.Seconds(); s > 0 {
@@ -118,6 +131,7 @@ func main() {
 		fmt.Printf("  visited set:    %s\n", mc.FormatBytes(res.VisitedBytes))
 		fmt.Printf("  rate:           %.0f states/s\n", rate)
 		fmt.Printf("  dedup ratio:    %.2f transitions/state\n", dedup)
+		fmt.Printf("  symmetry group: %d\n", res.SymmetryGroup)
 	}
 	if res.Violation == nil {
 		fmt.Println("verified: no deadlock, no unexpected messages, coherence holds")

@@ -17,6 +17,10 @@
 //
 //	-all           also print info-level findings (advisory, never affect
 //	               the exit)
+//	-json          print one machine-readable JSON array instead of text:
+//	               per target, every finding (all severities) plus the
+//	               static symmetry certificate (internal/analysis, schema
+//	               pinned by TestJSONReportGolden)
 //	-O             vet the optimized build (default true)
 //	-home-start s  initial home-side state for .tea targets
 //	-cache-start s initial cache-side state for .tea targets
@@ -46,6 +50,7 @@ import (
 func main() {
 	var (
 		all        = flag.Bool("all", false, "also print info-level findings")
+		jsonOut    = flag.Bool("json", false, "print machine-readable JSON (findings + symmetry certificate) instead of text")
 		optimize   = flag.Bool("O", true, "vet the optimized build")
 		homeStart  = flag.String("home-start", "Home_Idle", "initial home-side state for .tea targets")
 		cacheStart = flag.String("cache-start", "Cache_Inv", "initial cache-side state for .tea targets")
@@ -59,6 +64,7 @@ func main() {
 	}
 
 	dirty := false
+	var reports []*analysis.JSONReport
 	for _, tgt := range targets {
 		cfg := tgt.Config
 		cfg.Optimize = *optimize
@@ -68,15 +74,27 @@ func main() {
 			os.Exit(2)
 		}
 		rep := analysis.Analyze(art.Protocol)
-		for _, d := range rep.Findings {
-			if d.Severity > source.SevWarning && !*all {
-				continue
+		if *jsonOut {
+			reports = append(reports, rep.JSON(tgt.Name, analysis.ProveSymmetry(art.Protocol)))
+		} else {
+			for _, d := range rep.Findings {
+				if d.Severity > source.SevWarning && !*all {
+					continue
+				}
+				fmt.Println(analysis.Format(d))
 			}
-			fmt.Println(analysis.Format(d))
 		}
 		if len(rep.Actionable()) > 0 {
 			dirty = true
 		}
+	}
+	if *jsonOut {
+		b, err := analysis.MarshalJSONReports(reports)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "teapot-vet:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(b)
 	}
 	if dirty {
 		os.Exit(1)

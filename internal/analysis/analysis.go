@@ -39,6 +39,14 @@
 //	                   without the explicit TIMEOUT handler the runtimes
 //	                   require to arm a recovery timer (advisory when the
 //	                   protocol declares no TIMEOUT at all)
+//	vet:symmetry       advisory witnesses when a handler is not equivariant
+//	                   under node/block permutations (the machine-checkable
+//	                   SymmetryCert behind the model checker's certificate-
+//	                   gated symmetry reduction; see ProveSymmetry)
+//	vet:dup-idempotence advisory: handlers of TIMEOUT-declaring (i.e.
+//	                   fault-tolerant) protocols whose effects are visibly
+//	                   non-idempotent under duplicated delivery — unguarded
+//	                   continuation resumes and counter read-modify-writes
 package analysis
 
 import (
@@ -73,6 +81,8 @@ var Passes = []*Pass{
 	{ID: "unassigned", Doc: "no register is read before any path writes it", Run: runUnassigned},
 	{ID: "cont-alloc", Doc: "heap continuation records do not save only rematerializable constants", Run: runCostLint},
 	{ID: "timeout", Doc: "transient states of a TIMEOUT-declaring protocol have explicit TIMEOUT handlers", Run: runTimeout},
+	{ID: "symmetry", Doc: "handlers are equivariant under node and block permutations (refutations, advisory)", Run: runSymmetry},
+	{ID: "dup-idempotence", Doc: "handlers of droppable protocols are idempotent under duplicated delivery (advisory)", Run: runDupIdempotence},
 }
 
 // Report is the outcome of a vet run: findings sorted by file, position,

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"teapot/internal/ir"
+	"teapot/internal/sema"
+	"teapot/internal/source"
+	"teapot/internal/token"
+)
+
+// vet:dup-idempotence — advisory lint for fault-tolerant protocols.
+//
+// Under a duplication fault budget (-net dup=N) the network may deliver
+// the same message twice. A handler is safe under duplication when its
+// second execution is a no-op: the landing state Drops the stale copy, or
+// a guard detects that the work already happened. Two effect patterns are
+// visibly NOT idempotent in the IR:
+//
+//   - resuming a suspended continuation behind no duplicate-detecting
+//     guard: the duplicate re-resumes a continuation that no longer
+//     exists (or worse, a fresh one from an unrelated request). Branches
+//     whose condition derives from a support-routine result are treated
+//     as guards — supports are where duplicate-detection state (e.g. the
+//     stache-ft awaiting mask's TakeAwaiting) lives. Pure comparisons on
+//     message fields (src = owner) do not discharge the duplicate, which
+//     is exactly the documented dup=2 edge in stache-ft.
+//   - a read-modify-write of a protocol variable (counter increment /
+//     toggle): the duplicate applies the delta twice.
+//
+// The lint only fires for protocols that declare TIMEOUT (the repo's
+// marker for fault-tolerant designs with a recovery path); for all other
+// protocols duplication is outside the verified envelope and the lint is
+// silent. Findings are advisory (info): dup=1 safety often rests on
+// landing-state Drop handlers the IR-level scan cannot see. This is the
+// groundwork for ROADMAP's epoch/sequence-number work.
+func runDupIdempotence(c *Ctx) {
+	if c.Proto.MsgIndex("TIMEOUT") < 0 {
+		return
+	}
+
+	// Tags that actually travel on the network: arguments of Send/SendData.
+	sent := map[int]bool{}
+	for _, f := range c.IR.Funcs {
+		msgConst := map[ir.Reg]int{}
+		for i := range f.Code {
+			in := &f.Code[i]
+			switch {
+			case in.Op == ir.OpConst && in.Kind == ir.KMsg:
+				msgConst[in.Dst] = int(in.Int)
+			case in.Op == ir.OpCall && (in.Fn.Builtin == sema.BSend || in.Fn.Builtin == sema.BSendData):
+				if len(in.Args) >= 2 {
+					if tag, ok := msgConst[in.Args[1]]; ok {
+						sent[tag] = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range c.IR.Funcs {
+		if f.MsgIndex < 0 || !sent[f.MsgIndex] {
+			continue
+		}
+		findUnguardedResume(c, f)
+		findCounterRMW(c, f)
+	}
+}
+
+// findUnguardedResume reports Resume instructions reachable from handler
+// entry without passing a branch whose condition derives from a support
+// call.
+func findUnguardedResume(c *Ctx, f *ir.Func) {
+	// Registers (transitively) derived from a non-builtin support call.
+	dep := make([]bool, f.NumRegs)
+	for changed := true; changed; {
+		changed = false
+		mark := func(dst ir.Reg, v bool) {
+			if v && !dep[dst] {
+				dep[dst] = true
+				changed = true
+			}
+		}
+		for i := range f.Code {
+			in := &f.Code[i]
+			switch in.Op {
+			case ir.OpCall:
+				if in.Fn.Builtin == sema.BNone && in.Dst != ir.NoReg {
+					mark(in.Dst, true)
+				}
+			case ir.OpMove, ir.OpUn:
+				mark(in.Dst, dep[in.A])
+			case ir.OpBin:
+				mark(in.Dst, dep[in.A] || dep[in.B])
+			}
+		}
+	}
+
+	// Reachability from instruction 0, cutting guarded branches.
+	seen := make([]bool, len(f.Code))
+	work := []int{0}
+	var succs []int
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		if i >= len(f.Code) || seen[i] {
+			continue
+		}
+		seen[i] = true
+		in := &f.Code[i]
+		if in.Op == ir.OpResume {
+			c.Reportf(source.SevInfo, handlerPos(c.Sema.States[f.StateIndex], f),
+				"handler %s resumes a continuation with no duplicate-delivery guard: a duplicated %s re-resumes it (instr %d: %s)",
+				f.Name, msgName(c.Sema, f.MsgIndex), i, in.String())
+			continue
+		}
+		if in.Op == ir.OpBranch && dep[in.A] {
+			continue // support-guarded: the support vouches for dedup
+		}
+		succs = f.Succs(i, succs[:0])
+		work = append(work, succs...)
+	}
+}
+
+// findCounterRMW reports stores to a protocol variable computed by
+// arithmetic over a load of the same variable.
+func findCounterRMW(c *Ctx, f *ir.Func) {
+	type flow struct {
+		slots map[int]bool
+		arith bool
+	}
+	regs := make([]flow, f.NumRegs)
+	get := func(r ir.Reg) flow { return regs[r] }
+	merge := func(a, b flow, arith bool) flow {
+		out := flow{slots: map[int]bool{}, arith: a.arith || b.arith || arith}
+		for s := range a.slots {
+			out.slots[s] = true
+		}
+		for s := range b.slots {
+			out.slots[s] = true
+		}
+		return out
+	}
+	for i := range f.Code {
+		in := &f.Code[i]
+		switch in.Op {
+		case ir.OpLoadVar:
+			regs[in.Dst] = flow{slots: map[int]bool{in.Idx: true}}
+		case ir.OpMove:
+			regs[in.Dst] = get(in.A)
+		case ir.OpUn:
+			if in.Tok == token.MINUS {
+				regs[in.Dst] = merge(get(in.A), flow{}, true)
+			} else {
+				regs[in.Dst] = get(in.A)
+			}
+		case ir.OpBin:
+			if isArith(in.Tok) {
+				regs[in.Dst] = merge(get(in.A), get(in.B), true)
+			} else {
+				regs[in.Dst] = flow{}
+			}
+		case ir.OpStoreVar:
+			src := get(in.A)
+			if src.arith && src.slots[in.Idx] {
+				c.Reportf(source.SevInfo, in.Pos,
+					"handler %s read-modify-writes protocol variable %s: a duplicated %s applies the update twice (instr %d: %s)",
+					f.Name, c.Sema.ProtVars[in.Idx].Name, msgName(c.Sema, f.MsgIndex), i, in.String())
+			}
+		case ir.OpConst, ir.OpConstStr, ir.OpModConst, ir.OpBuiltinVal, ir.OpCall, ir.OpMakeState, ir.OpMakeCont:
+			if in.Dst != ir.NoReg {
+				regs[in.Dst] = flow{}
+			}
+		}
+	}
+}
+
+func msgName(sp *sema.Program, idx int) string {
+	if idx >= 0 && idx < len(sp.Messages) {
+		return sp.Messages[idx].Name
+	}
+	return "DEFAULT"
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"sort"
+
+	"teapot/internal/ir"
+	"teapot/internal/runtime"
+	"teapot/internal/sema"
+	"teapot/internal/source"
+	"teapot/internal/token"
+)
+
+// Symmetry certificates.
+//
+// A Teapot protocol compiled for N nodes and B blocks is *node-symmetric*
+// when every handler treats concrete node identities opaquely: node values
+// may be stored, passed, compared for (in)equality, and fed to the
+// sanctioned accessors (MyNode, HomeNode, MessageSrc), but never
+// hard-coded, ordered, or mixed into arithmetic. Block symmetry is the
+// same property over block/address identities. When both hold, permuting
+// the non-home node ids (respectively the block ids, with the home map
+// carried along) maps reachable states to reachable states and violations
+// to violations — the classical scalarset argument — so the model checker
+// may soundly canonicalize each world to a permutation-orbit
+// representative before fingerprinting.
+//
+// ProveSymmetry decides the property per dimension with a flow-insensitive
+// tag dataflow over the compiled IR and emits a machine-checkable
+// SymmetryCert. Refutations carry a concrete witness instruction. Support
+// routines are opaque to the IR, so every non-builtin call becomes a proof
+// obligation the runtime support must vouch for (see runtime.SymmetryDecl);
+// the checker refuses reduction unless every obligation is covered.
+
+// SymmetryCert is the machine-checkable result of the symmetry prover for
+// one compiled protocol.
+type SymmetryCert struct {
+	Protocol    string               `json:"protocol"`
+	Node        SymmetryDim          `json:"node"`
+	Block       SymmetryDim          `json:"block"`
+	Obligations []SymmetryObligation `json:"obligations,omitempty"`
+}
+
+// SymmetryDim is the verdict for one permutation dimension.
+type SymmetryDim struct {
+	Equivariant bool              `json:"equivariant"`
+	Witnesses   []SymmetryWitness `json:"witnesses,omitempty"`
+}
+
+// SymmetryWitness pins a refutation to a concrete IR instruction. Line and
+// Col mirror Pos for the JSON schema (findings use the same flat shape).
+type SymmetryWitness struct {
+	Handler string     `json:"handler"`
+	Index   int        `json:"index"`
+	Instr   string     `json:"instr"`
+	Pos     source.Pos `json:"-"`
+	Line    int        `json:"line"`
+	Col     int        `json:"col"`
+	Reason  string     `json:"reason"`
+}
+
+// SymmetryObligation names a support routine the IR proof cannot see
+// through; the runtime support must declare it equivariant before the
+// model checker may consume the certificate.
+type SymmetryObligation struct {
+	Routine string `json:"routine"`
+}
+
+// Holds reports whether both dimensions are statically equivariant.
+// Obligations still gate reduction: they must be discharged by the
+// support's SymmetryDecl at mc configuration time.
+func (c *SymmetryCert) Holds() bool {
+	return c.Node.Equivariant && c.Block.Equivariant
+}
+
+// symTag marks registers that may carry identity-sensitive values.
+type symTag uint8
+
+const (
+	tagNode symTag = 1 << iota
+	tagID
+)
+
+func typeTag(t sema.Type) symTag {
+	switch t.Kind {
+	case sema.TNode:
+		return tagNode
+	case sema.TID:
+		return tagID
+	}
+	return 0
+}
+
+// ProveSymmetry runs the symmetry prover over a compiled protocol.
+func ProveSymmetry(p *runtime.Protocol) *SymmetryCert {
+	sp := p.IR.Sema
+	cert := &SymmetryCert{
+		Protocol: sp.ProtoName,
+		Node:     SymmetryDim{Equivariant: true},
+		Block:    SymmetryDim{Equivariant: true},
+	}
+	obligations := map[string]bool{}
+	for _, f := range p.IR.Funcs {
+		proveFunc(sp, f, cert, obligations)
+	}
+	names := make([]string, 0, len(obligations))
+	for n := range obligations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cert.Obligations = append(cert.Obligations, SymmetryObligation{Routine: n})
+	}
+	cert.Node.Equivariant = len(cert.Node.Witnesses) == 0
+	cert.Block.Equivariant = len(cert.Block.Witnesses) == 0
+	return cert
+}
+
+// seedTags assigns the declared types of state parameters, handler
+// parameters, and locals to their registers; temporaries start untagged.
+func seedTags(sp *sema.Program, f *ir.Func) []symTag {
+	tags := make([]symTag, f.NumRegs)
+	st := sp.States[f.StateIndex]
+	for i, p := range st.Params {
+		if i < f.NumStateParams {
+			tags[f.StateParamReg(i)] |= typeTag(p.Type)
+		}
+	}
+	for _, h := range st.Handlers {
+		if (h.Msg == nil && f.MsgIndex >= 0) || (h.Msg != nil && h.Msg.Index != f.MsgIndex) {
+			continue
+		}
+		for i, p := range h.Params {
+			if i < f.NumParams {
+				tags[f.ParamReg(i)] |= typeTag(p.Type)
+			}
+		}
+		for i, v := range h.Locals {
+			if i < f.NumLocals {
+				tags[f.LocalReg(i)] |= typeTag(v.Type)
+			}
+		}
+		break
+	}
+	return tags
+}
+
+func isArith(t token.Kind) bool {
+	switch t {
+	case token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT:
+		return true
+	}
+	return false
+}
+
+func isOrdering(t token.Kind) bool {
+	switch t {
+	case token.LT, token.LE, token.GT, token.GE:
+		return true
+	}
+	return false
+}
+
+func proveFunc(sp *sema.Program, f *ir.Func, cert *SymmetryCert, obligations map[string]bool) {
+	tags := seedTags(sp, f)
+
+	// Flow-insensitive fixpoint: a register is tagged if any instruction
+	// anywhere in the handler may put an identity-derived value into it.
+	for changed := true; changed; {
+		changed = false
+		set := func(dst ir.Reg, t symTag) {
+			if t != 0 && tags[dst]&t != t {
+				tags[dst] |= t
+				changed = true
+			}
+		}
+		for i := range f.Code {
+			in := &f.Code[i]
+			switch in.Op {
+			case ir.OpConst:
+				switch in.Kind {
+				case ir.KNode:
+					set(in.Dst, tagNode)
+				case ir.KID:
+					set(in.Dst, tagID)
+				}
+			case ir.OpMove:
+				set(in.Dst, tags[in.A])
+			case ir.OpBin:
+				if isArith(in.Tok) {
+					set(in.Dst, tags[in.A]|tags[in.B])
+				}
+			case ir.OpUn:
+				if in.Tok == token.MINUS {
+					set(in.Dst, tags[in.A])
+				}
+			case ir.OpLoadVar:
+				set(in.Dst, typeTag(sp.ProtVars[in.Idx].Type))
+			case ir.OpModConst:
+				set(in.Dst, typeTag(sp.ModConsts[in.Idx].Type))
+			case ir.OpBuiltinVal:
+				if sema.Builtin(in.Idx) == sema.BMessageSrc {
+					set(in.Dst, tagNode)
+				}
+			case ir.OpCall:
+				if in.Fn.Sig != nil && in.Dst != ir.NoReg {
+					set(in.Dst, typeTag(in.Fn.Sig.Result))
+				}
+			}
+		}
+	}
+
+	// One witness/obligation collection scan over the fixpoint.
+	witness := func(dim *SymmetryDim, i int, reason string) {
+		dim.Witnesses = append(dim.Witnesses, SymmetryWitness{
+			Handler: f.Name,
+			Index:   i,
+			Instr:   f.Code[i].String(),
+			Pos:     f.Code[i].Pos,
+			Line:    f.Code[i].Pos.Line,
+			Col:     f.Code[i].Pos.Col,
+			Reason:  reason,
+		})
+	}
+	both := func(i int, t symTag, nodeReason, blockReason string) {
+		if t&tagNode != 0 {
+			witness(&cert.Node, i, nodeReason)
+		}
+		if t&tagID != 0 {
+			witness(&cert.Block, i, blockReason)
+		}
+	}
+	for i := range f.Code {
+		in := &f.Code[i]
+		switch in.Op {
+		case ir.OpConst:
+			// -1 is the sanctioned "no node"/"no block" sentinel and is a
+			// fixed point of every permutation.
+			if in.Int >= 0 {
+				switch in.Kind {
+				case ir.KNode:
+					witness(&cert.Node, i, "hard-coded concrete node id")
+				case ir.KID:
+					witness(&cert.Block, i, "hard-coded concrete block id")
+				}
+			}
+		case ir.OpBin:
+			switch {
+			case isArith(in.Tok):
+				both(i, tags[in.A]|tags[in.B],
+					"arithmetic mixes a node id", "arithmetic mixes a block id")
+			case isOrdering(in.Tok):
+				both(i, tags[in.A]|tags[in.B],
+					"ordering compares node ids", "ordering compares block ids")
+			}
+		case ir.OpUn:
+			if in.Tok == token.MINUS {
+				both(i, tags[in.A],
+					"arithmetic mixes a node id", "arithmetic mixes a block id")
+			}
+		case ir.OpModConst:
+			// Runtime-bound constants do not permute with the world, so an
+			// identity-typed one pins a concrete identity.
+			both(i, typeTag(sp.ModConsts[in.Idx].Type),
+				"runtime-bound node constant pins a concrete node id",
+				"runtime-bound block constant pins a concrete block id")
+		case ir.OpCall:
+			if in.Fn.Builtin == sema.BNone {
+				obligations[in.Fn.Name] = true
+			}
+		}
+	}
+}
+
+// runSymmetry is the vet surface of the prover: advisory (info) findings
+// for each refutation witness, silent when the certificate holds. The
+// model checker consumes the certificate itself, not these findings.
+func runSymmetry(c *Ctx) {
+	cert := ProveSymmetry(c.Proto)
+	report := func(dim string, ws []SymmetryWitness) {
+		for _, w := range ws {
+			c.Reportf(source.SevInfo, w.Pos,
+				"handler %s is not %s-symmetric: %s (instr %d: %s); symmetry reduction disabled",
+				w.Handler, dim, w.Reason, w.Index, w.Instr)
+		}
+	}
+	report("node", cert.Node.Witnesses)
+	report("block", cert.Block.Witnesses)
+}

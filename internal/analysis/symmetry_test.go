@@ -1,0 +1,128 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"teapot/internal/analysis"
+	"teapot/internal/core"
+	"teapot/internal/protocols"
+	"teapot/internal/source"
+)
+
+// TestProveSymmetryBundled: every bundled protocol except the deliberate
+// asymmetric fixture carries a clean certificate — the static prover finds
+// no instruction that distinguishes concrete node or block ids.
+func TestProveSymmetryBundled(t *testing.T) {
+	for _, e := range protocols.All() {
+		if e.Name == "stache-asym" {
+			continue
+		}
+		cert := analysis.ProveSymmetry(core.MustCompile(e.Config).Protocol)
+		if !cert.Holds() {
+			t.Errorf("%s: certificate refuted; node witnesses %v, block witnesses %v",
+				e.Name, cert.Node.Witnesses, cert.Block.Witnesses)
+		}
+	}
+}
+
+// TestProveSymmetryAsym: the fixture must be refuted on the node dimension
+// with a concrete witness instruction, while the block dimension stays
+// equivariant (the handler compares node ids, never block ids).
+func TestProveSymmetryAsym(t *testing.T) {
+	e, ok := protocols.Lookup("stache-asym")
+	if !ok {
+		t.Fatal("stache-asym not registered")
+	}
+	p := core.MustCompile(e.Config).Protocol
+	cert := analysis.ProveSymmetry(p)
+	if cert.Holds() {
+		t.Fatal("asymmetric fixture certified symmetric")
+	}
+	if cert.Node.Equivariant || len(cert.Node.Witnesses) == 0 {
+		t.Fatalf("node dimension not refuted: %+v", cert.Node)
+	}
+	w := cert.Node.Witnesses[0]
+	if w.Handler != "Cache_RO.PUT_NO_DATA_REQ" {
+		t.Errorf("witness handler = %q", w.Handler)
+	}
+	if !strings.Contains(w.Reason, "ordering compares node ids") {
+		t.Errorf("witness reason = %q", w.Reason)
+	}
+	if !cert.Block.Equivariant {
+		t.Errorf("block dimension spuriously refuted: %v", cert.Block.Witnesses)
+	}
+
+	// The same refutation surfaces as an advisory vet finding.
+	rep := analysis.Analyze(p)
+	ds := rep.ByCheck("symmetry")
+	if len(ds) == 0 {
+		t.Fatal("no vet:symmetry findings for the asymmetric fixture")
+	}
+	if ds[0].Severity != source.SevInfo {
+		t.Errorf("severity = %v, want info (advisory)", ds[0].Severity)
+	}
+	if !strings.Contains(ds[0].Msg, "symmetry reduction disabled") {
+		t.Errorf("finding msg = %q", ds[0].Msg)
+	}
+}
+
+// TestSymmetryWitnessClasses exercises the refutation classes on minimal
+// protocols: ordering on node ids, ordering on block ids, and the
+// obligations emitted for support-module calls.
+func TestSymmetryWitnessClasses(t *testing.T) {
+	nodeCmp := compile(t, `
+protocol P begin state A(); message GO; end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin
+    if (src < MyNode()) then Drop(); else Drop(); endif;
+  end;
+`+defaultDrop+`end;
+`, true)
+	cert := analysis.ProveSymmetry(nodeCmp)
+	if cert.Node.Equivariant {
+		t.Error("node ordering not refuted")
+	} else if r := cert.Node.Witnesses[0].Reason; !strings.Contains(r, "ordering compares node ids") {
+		t.Errorf("node witness reason = %q", r)
+	}
+	if !cert.Block.Equivariant {
+		t.Errorf("block dimension spuriously refuted: %v", cert.Block.Witnesses)
+	}
+
+	blockCmp := compile(t, `
+protocol P begin state A(); message GO; end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin
+    if (id <= id) then Drop(); else Drop(); endif;
+  end;
+`+defaultDrop+`end;
+`, true)
+	cert = analysis.ProveSymmetry(blockCmp)
+	if cert.Block.Equivariant {
+		t.Error("block ordering not refuted")
+	} else if r := cert.Block.Witnesses[0].Reason; !strings.Contains(r, "ordering compares block ids") {
+		t.Errorf("block witness reason = %q", r)
+	}
+	if !cert.Node.Equivariant {
+		t.Errorf("node dimension spuriously refuted: %v", cert.Node.Witnesses)
+	}
+
+	withCall := compile(t, `
+module M begin
+  procedure Tick(var info : INFO; n : NODE);
+end;
+protocol P begin state A(); message GO; end;
+state P.A() begin
+  message GO (id : ID; var info : INFO; src : NODE) begin
+    Tick(info, src);
+  end;
+`+defaultDrop+`end;
+`, true)
+	cert = analysis.ProveSymmetry(withCall)
+	if !cert.Holds() {
+		t.Errorf("support call refuted the IR dimensions: %+v", cert)
+	}
+	if len(cert.Obligations) != 1 || cert.Obligations[0].Routine != "Tick" {
+		t.Errorf("obligations = %+v, want exactly [Tick]", cert.Obligations)
+	}
+}

@@ -366,9 +366,10 @@ func ObsBench(nodes, iters int) ([]ObsRow, error) {
 // MCBaseline is the committed BENCH_mc.json document: checker throughput
 // rows plus the observability-layer cost rows.
 type MCBaseline struct {
-	MC     []MCRow    `json:"mc"`
-	Obs    []ObsRow   `json:"obs"`
-	Faults []FaultRow `json:"faults"`
+	MC       []MCRow       `json:"mc"`
+	Obs      []ObsRow      `json:"obs"`
+	Faults   []FaultRow    `json:"faults"`
+	Symmetry []SymmetryRow `json:"symmetry"`
 }
 
 // FaultRow is one fault-budget verification record in the `faults` series
@@ -457,6 +458,141 @@ func FormatFaults(rows []FaultRow) string {
 		}
 		fmt.Fprintf(&b, "%-10s %-14s %9d %12d %6d  %s\n",
 			r.Protocol, r.Net, r.States, r.Transitions, r.Depth, result)
+	}
+	return b.String()
+}
+
+// SymmetryLeg is one half of a symmetry-sweep row: the same verification
+// run with reduction either on or off.
+type SymmetryLeg struct {
+	States        int     `json:"states"`
+	Depth         int     `json:"depth"`
+	StatesPerSec  float64 `json:"states_per_sec"`
+	BytesPerState float64 `json:"bytes_per_state"`
+	WallMS        float64 `json:"wall_ms"`
+	Violation     string  `json:"violation,omitempty"`
+}
+
+// SymmetryRow is one record in the `symmetry` series of BENCH_mc.json:
+// the same protocol/shape/network verified with certificate-gated symmetry
+// reduction on (Reduced) and off (Full). MaxStates is nonzero on frontier
+// probes that deliberately cap exploration instead of exhausting the space
+// — on those rows both legs end in a "state-limit" violation and Depth is
+// the honest comparison (how deep an equal state budget reaches), while
+// Ratio is left zero because neither leg saw the whole space.
+type SymmetryRow struct {
+	Protocol  string      `json:"protocol"`
+	Nodes     int         `json:"nodes"`
+	Blocks    int         `json:"blocks"`
+	Net       string      `json:"net"`
+	Group     int         `json:"group"`
+	MaxStates int         `json:"max_states,omitempty"`
+	Reduced   SymmetryLeg `json:"reduced"`
+	Full      SymmetryLeg `json:"full"`
+	Ratio     float64     `json:"ratio,omitempty"`
+}
+
+// SymmetrySweep measures certificate-gated symmetry reduction: each shape
+// is verified twice, reduction on then off, and the row records states,
+// throughput, and per-state memory for both legs. Shapes were sized for a
+// single-core container (≈6-30k states/s): everything but the last row is
+// exhaustive; Stache-FT at 4 nodes / 2 blocks under a fault budget exceeds
+// 3.5M canonical states, so it rides along as an equal-budget frontier
+// probe rather than being silently dropped.
+func SymmetrySweep(workers int) ([]SymmetryRow, error) {
+	type run struct {
+		name, proto, net string
+		nodes, blocks    int
+		maxStates        int
+	}
+	runs := []run{
+		{"Stache", "stache", "reorder=1", 3, 1, 0},
+		{"Stache", "stache", "", 4, 1, 0},
+		{"Stache-FT", "stache-ft", "drop=1", 3, 1, 0},
+		{"Stache-FT", "stache-ft", "", 3, 2, 0},
+		{"Stache-FT", "stache-ft", "drop=1", 4, 2, 400000},
+	}
+	var rows []SymmetryRow
+	for _, r := range runs {
+		net, err := netmodel.Parse(r.net)
+		if err != nil {
+			return nil, err
+		}
+		row := SymmetryRow{
+			Protocol: r.name, Nodes: r.nodes, Blocks: r.blocks,
+			Net: r.net, MaxStates: r.maxStates,
+		}
+		if row.Net == "" {
+			row.Net = "none"
+		}
+		for _, mode := range []mc.SymmetryMode{mc.SymmetryOn, mc.SymmetryOff} {
+			var cfg mc.Config
+			switch r.proto {
+			case "stache-ft":
+				a := stache.MustCompileFT(true)
+				cfg = mc.Config{Proto: a.Protocol, Support: stache.MustFTSupport(a.Protocol, r.nodes),
+					Events: stache.NewEvents(a.Protocol)}
+			default:
+				a := stache.MustCompile(true)
+				cfg = mc.Config{Proto: a.Protocol, Support: stache.MustSupport(a.Protocol),
+					Events: stache.NewEvents(a.Protocol)}
+			}
+			cfg.Nodes, cfg.Blocks, cfg.Net, cfg.Workers = r.nodes, r.blocks, net, workers
+			cfg.CheckCoherence = true
+			cfg.MaxStates = r.maxStates
+			cfg.Symmetry = mode
+			res, err := mc.Check(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s %dn/%db net=%q symmetry=%s: %w",
+					r.name, r.nodes, r.blocks, r.net, mode, err)
+			}
+			leg := SymmetryLeg{
+				States: res.States, Depth: res.MaxDepth,
+				WallMS: float64(res.Elapsed) / float64(time.Millisecond),
+			}
+			if s := res.Elapsed.Seconds(); s > 0 {
+				leg.StatesPerSec = float64(res.States) / s
+			}
+			if res.States > 0 {
+				leg.BytesPerState = float64(res.VisitedBytes) / float64(res.States)
+			}
+			if res.Violation != nil {
+				leg.Violation = res.Violation.Kind
+			}
+			if mode == mc.SymmetryOn {
+				row.Group = res.SymmetryGroup
+				row.Reduced = leg
+			} else {
+				row.Full = leg
+			}
+		}
+		if r.maxStates == 0 && row.Reduced.States > 0 {
+			row.Ratio = float64(row.Full.States) / float64(row.Reduced.States)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSymmetry renders the symmetry sweep as a table.
+func FormatSymmetry(rows []SymmetryRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Symmetry sweep: certificate-gated reduction on vs. off\n")
+	fmt.Fprintf(&b, "%-10s %5s %-10s %3s %10s %10s %6s %9s %9s  %s\n",
+		"protocol", "shape", "net", "|G|", "reduced", "full", "ratio", "red B/st", "full B/st", "note")
+	for _, r := range rows {
+		ratio := "-"
+		note := ""
+		if r.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2f", r.Ratio)
+		}
+		if r.MaxStates > 0 {
+			note = fmt.Sprintf("capped probe @%d: depth %d vs %d", r.MaxStates, r.Reduced.Depth, r.Full.Depth)
+		}
+		fmt.Fprintf(&b, "%-10s %2dn/%db %-10s %3d %10d %10d %6s %9.1f %9.1f  %s\n",
+			r.Protocol, r.Nodes, r.Blocks, r.Net, r.Group,
+			r.Reduced.States, r.Full.States, ratio,
+			r.Reduced.BytesPerState, r.Full.BytesPerState, note)
 	}
 	return b.String()
 }

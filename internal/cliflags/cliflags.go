@@ -115,7 +115,7 @@ func (r *Run) Spec() (core.RunSpec, error) {
 // registering flags never compiles a protocol; a cliflags test keeps it
 // in sync with protocols.Spec.
 func RunnableNames() []string {
-	return []string{"stache", "stache-ft", "stache-buggy", "stache-ft-buggy", "lcm", "lcm-mcc", "bufwrite", "update"}
+	return []string{"stache", "stache-ft", "stache-asym", "stache-buggy", "stache-ft-buggy", "lcm", "lcm-mcc", "bufwrite", "update"}
 }
 
 // BadFlag formats a consistent usage error.

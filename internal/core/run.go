@@ -41,7 +41,10 @@ type RunSpec struct {
 	Workers        int // BFS goroutines (0 = GOMAXPROCS)
 	CheckCoherence bool
 	MaxStates      int // 0 = unlimited
-	Progress       func(mc.ProgressInfo)
+	// Symmetry selects certificate-gated symmetry reduction (see
+	// mc.SymmetryMode; the zero value is off). Ignored by Simulate.
+	Symmetry mc.SymmetryMode
+	Progress func(mc.ProgressInfo)
 
 	// Simulator knobs.
 	Seed      uint64 // fault-injection RNG seed
@@ -87,6 +90,7 @@ func (s RunSpec) MCConfig() mc.Config {
 		Workers:        s.Workers,
 		CheckCoherence: s.CheckCoherence,
 		MaxStates:      s.MaxStates,
+		Symmetry:       s.Symmetry,
 		Progress:       s.Progress,
 	}
 }

@@ -32,21 +32,34 @@ func Check(cfg Config) (*Result, error) {
 	if cfg.Net.MaxCorrupts > 0 && cfg.nackTag < 0 {
 		return nil, fmt.Errorf("mc: Net corrupt=%d but the protocol declares no NACK message to bounce corrupted tags with", cfg.Net.MaxCorrupts)
 	}
+	red, note, err := buildReduction(&cfg)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	res := &Result{Workers: cfg.Workers}
+	res := &Result{Workers: cfg.Workers, SymmetryGroup: 1, SymmetryNote: note}
+	if red != nil {
+		res.SymmetryGroup = len(red.group)
+	}
 
 	init := newWorld(&cfg)
-	initKey, err := init.encode()
+	var initKey string
+	var initPerm int32
+	if red != nil {
+		initKey, initPerm, err = red.canonicalize(init)
+	} else {
+		initKey, err = init.encode()
+	}
 	if err != nil {
 		return nil, err
 	}
 	vt := newVisited()
-	layer := []int32{vt.addRoot(initKey)}
+	layer := []int32{vt.addRoot(initKey, initPerm)}
 	res.PeakFrontier = 1
 
 	for depth := 0; len(layer) > 0; depth++ {
 		res.MaxDepth = depth
-		out, err := expandLayer(&cfg, vt, layer)
+		out, err := expandLayer(&cfg, vt, red, layer)
 		if err != nil {
 			return nil, err
 		}
@@ -61,18 +74,19 @@ func Check(cfg Config) (*Result, error) {
 			// snapshot reads no state a worker could still be touching.
 			min, max := vt.shardStats()
 			cfg.Progress(ProgressInfo{
-				Depth:        depth,
-				Frontier:     len(next),
-				States:       len(vt.arena),
-				Transitions:  int64(res.Transitions),
-				Elapsed:      time.Since(start),
-				VisitedBytes: vt.bytes(),
-				ShardMin:     min,
-				ShardMax:     max,
+				Depth:         depth,
+				Frontier:      len(next),
+				States:        len(vt.arena),
+				Transitions:   int64(res.Transitions),
+				Elapsed:       time.Since(start),
+				VisitedBytes:  vt.bytes(),
+				ShardMin:      min,
+				ShardMax:      max,
+				SymmetryGroup: res.SymmetryGroup,
 			})
 		}
 		if out.cand != nil {
-			v, err := buildViolation(&cfg, vt, layer, out.cand)
+			v, err := buildViolation(&cfg, vt, red, layer, out.cand)
 			if err != nil {
 				return nil, err
 			}
@@ -126,7 +140,7 @@ func (o *workerOut) take(c *candidate) {
 
 // expandLayer expands every state of the layer, fanning out over
 // cfg.Workers goroutines pulling positions from a shared cursor.
-func expandLayer(cfg *Config, vt *visitedTable, layer []int32) (*workerOut, error) {
+func expandLayer(cfg *Config, vt *visitedTable, red *reduction, layer []int32) (*workerOut, error) {
 	workers := cfg.Workers
 	if workers > len(layer) {
 		workers = len(layer)
@@ -135,7 +149,7 @@ func expandLayer(cfg *Config, vt *visitedTable, layer []int32) (*workerOut, erro
 	merged := &workerOut{}
 	if workers <= 1 {
 		for pos := range layer {
-			if err := expandState(cfg, vt, layer, int32(pos), merged); err != nil {
+			if err := expandState(cfg, vt, red, layer, int32(pos), merged); err != nil {
 				return nil, err
 			}
 		}
@@ -154,7 +168,7 @@ func expandLayer(cfg *Config, vt *visitedTable, layer []int32) (*workerOut, erro
 				if pos >= int64(len(layer)) {
 					return
 				}
-				if err := expandState(cfg, vt, layer, int32(pos), out); err != nil {
+				if err := expandState(cfg, vt, red, layer, int32(pos), out); err != nil {
 					out.err = err
 					return
 				}
@@ -178,8 +192,10 @@ func expandLayer(cfg *Config, vt *visitedTable, layer []int32) (*workerOut, erro
 
 // expandState decodes one state (once), enumerates its actions, and claims
 // every successor, deriving each from a clone of the decoded world — the
-// last from the decoded world itself.
-func expandState(cfg *Config, vt *visitedTable, layer []int32, pos int32, out *workerOut) error {
+// last from the decoded world itself. With symmetry reduction active every
+// successor is canonicalized before the claim, so the visited table (and
+// its per-shard balance statistics) sees only post-canonicalization keys.
+func expandState(cfg *Config, vt *visitedTable, red *reduction, layer []int32, pos int32, out *workerOut) error {
 	w, err := cfg.decode(vt.arena[layer[pos]].key)
 	if err != nil {
 		return fmt.Errorf("mc: decode: %w", err)
@@ -208,11 +224,17 @@ func expandState(cfg *Config, vt *visitedTable, layer []int32, pos int32, out *w
 			out.take(&candidate{kind: "invariant", msg: msg, pos: pos, ord: int32(i)})
 			continue
 		}
-		succ, err := wa.encode()
+		var succ string
+		var permIdx int32
+		if red != nil {
+			succ, permIdx, err = red.canonicalize(wa)
+		} else {
+			succ, err = wa.encode()
+		}
 		if err != nil {
 			return fmt.Errorf("mc: encode: %w", err)
 		}
-		vt.claim(succ, pos, int32(i))
+		vt.claim(succ, pos, int32(i), permIdx)
 	}
 	return nil
 }
@@ -221,41 +243,96 @@ func expandState(cfg *Config, vt *visitedTable, layer []int32, pos int32, out *w
 // candidate by replaying the parent chain's action ordinals from the
 // initial state. Descriptions are rendered against the pre-action world,
 // exactly as the transitions were originally taken.
-func buildViolation(cfg *Config, vt *visitedTable, layer []int32, c *candidate) (*Violation, error) {
-	var ords []int32
-	for idx := layer[c.pos]; idx >= 0; {
-		rec := &vt.arena[idx]
-		if rec.action >= 0 {
-			ords = append(ords, rec.action)
-		}
-		idx = rec.parent
+//
+// With symmetry reduction active, the arena stores canonical orbit
+// representatives and the recorded ordinals index the *canonical* worlds'
+// action lists, so the trace is rebuilt by de-permuting: g tracks the
+// accumulated group element mapping the original-coordinate world onto the
+// canonical chain (g_{k+1} = perm_of(child) ∘ g_k), each ordinal is looked
+// up in the decoded canonical world and mapped back through g⁻¹, and the
+// violation message itself is re-derived in original coordinates so users
+// never see a permuted node or block id.
+func buildViolation(cfg *Config, vt *visitedTable, red *reduction, layer []int32, c *candidate) (*Violation, error) {
+	// Arena indices from the root to the violating state, root first.
+	var chain []int32
+	for idx := layer[c.pos]; idx >= 0; idx = vt.arena[idx].parent {
+		chain = append(chain, idx)
 	}
-	for i, j := 0, len(ords)-1; i < j; i, j = i+1, j-1 {
-		ords[i], ords[j] = ords[j], ords[i]
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	// One (pre-state arena index, ordinal) pair per transition, plus the
+	// violating action itself when the violation is a transition.
+	type traceStep struct{ pre, ord int32 }
+	steps := make([]traceStep, 0, len(chain))
+	for k := 1; k < len(chain); k++ {
+		steps = append(steps, traceStep{pre: chain[k-1], ord: vt.arena[chain[k]].action})
 	}
 	if c.ord >= 0 {
-		ords = append(ords, c.ord)
+		steps = append(steps, traceStep{pre: chain[len(chain)-1], ord: c.ord})
 	}
 
 	w := newWorld(cfg)
-	steps := make([]string, 0, len(ords))
-	machineSteps := make([]Step, 0, len(ords))
-	for n, ord := range ords {
-		acts := w.actions()
-		if int(ord) >= len(acts) {
-			return nil, fmt.Errorf("mc: trace replay diverged at step %d", n)
+	var g *perm
+	if red != nil {
+		g = red.group[vt.arena[chain[0]].perm]
+	}
+	msg := c.msg
+	trace := make([]string, 0, len(steps))
+	machineSteps := make([]Step, 0, len(steps))
+	for n, t := range steps {
+		final := n == len(steps)-1 && c.ord >= 0
+		var a action
+		if red == nil {
+			acts := w.actions()
+			if int(t.ord) >= len(acts) {
+				return nil, fmt.Errorf("mc: trace replay diverged at step %d", n)
+			}
+			a = acts[t.ord]
+		} else {
+			// The ordinal indexes the action list expandState enumerated —
+			// the decoded canonical world's, not w's — so look it up there
+			// and map it back into original coordinates.
+			cw, err := cfg.decode(vt.arena[t.pre].key)
+			if err != nil {
+				return nil, fmt.Errorf("mc: decode: %w", err)
+			}
+			acts := cw.actions()
+			if int(t.ord) >= len(acts) {
+				return nil, fmt.Errorf("mc: trace replay diverged at step %d", n)
+			}
+			a = red.permAction(acts[t.ord], g.inverse())
 		}
-		a := acts[ord]
-		steps = append(steps, w.describe(a))
+		trace = append(trace, w.describe(a))
 		machineSteps = append(machineSteps, w.step(a))
-		if n == len(ords)-1 && c.ord >= 0 {
+		if final {
+			if red != nil {
+				// Re-derive the violation message in original coordinates.
+				wf, err := w.clone()
+				if err != nil {
+					return nil, fmt.Errorf("mc: clone: %w", err)
+				}
+				if err := wf.apply(a); err != nil {
+					msg = err.Error()
+				} else if im := wf.checkInvariants(); im != "" {
+					msg = im
+				}
+			}
 			break // the final action is the violation itself
 		}
 		if err := w.apply(a); err != nil {
 			return nil, fmt.Errorf("mc: trace replay diverged at step %d: %w", n, err)
 		}
+		if red != nil {
+			g = compose(red.group[vt.arena[chain[n+1]].perm], g)
+		}
 	}
-	return &Violation{Kind: c.kind, Msg: c.msg, Trace: steps, Steps: machineSteps}, nil
+	if c.ord < 0 && red != nil {
+		// Deadlocks are a property of the final state; re-describe the
+		// stall against the original-coordinate world.
+		msg = describeStall(w)
+	}
+	return &Violation{Kind: c.kind, Msg: msg, Trace: trace, Steps: machineSteps}, nil
 }
 
 // describeStall renders a deadlock. When messages were dropped on the path

@@ -70,6 +70,17 @@ type Config struct {
 
 	CheckCoherence bool
 
+	// Symmetry selects certificate-gated symmetry reduction: canonicalize
+	// every successor to the lexicographically smallest member of its orbit
+	// under the admissible node/block permutation group before visited-set
+	// lookup. SymmetryOff (the zero value) explores the full state space;
+	// SymmetryAuto enables reduction when the static prover certifies the
+	// protocol and the support/event modules vouch for their routines
+	// (falling back to Off, with the reason in Result.SymmetryNote);
+	// SymmetryOn makes any refusal a hard error naming the first witness.
+	// Verdicts are identical either way — only the state count shrinks.
+	Symmetry SymmetryMode
+
 	// Progress, when non-nil, is invoked from the driver goroutine at every
 	// layer barrier with a snapshot of the exploration. It must not call
 	// back into the checker. Installing it never changes what the run
@@ -95,8 +106,14 @@ type ProgressInfo struct {
 	VisitedBytes int64
 	// ShardMin and ShardMax are the smallest and largest committed-state
 	// counts over the visited table's shards — a fingerprint-balance
-	// indicator (ShardMax >> ShardMin means the hash is clumping).
+	// indicator (ShardMax >> ShardMin means the hash is clumping). When
+	// symmetry reduction is active these count post-canonicalization
+	// fingerprints: each shard holds canonical orbit representatives, so the
+	// balance read-out describes the reduced space actually stored.
 	ShardMin, ShardMax int64
+	// SymmetryGroup is the order of the permutation group the run reduces
+	// by (1 when reduction is off or trivial).
+	SymmetryGroup int
 }
 
 // StatesPerSec returns the average exploration rate so far.
@@ -181,6 +198,12 @@ type Result struct {
 	Decodes int64
 	// VisitedBytes approximates the retained size of the visited set.
 	VisitedBytes int64
+	// SymmetryGroup is the order of the node/block permutation group the
+	// run canonicalized by; 1 means no reduction (off, refused, or trivial).
+	SymmetryGroup int
+	// SymmetryNote explains why SymmetryAuto fell back to no reduction
+	// ("" when reduction ran or was off).
+	SymmetryNote string
 }
 
 // Violation describes a found bug with its event trace from the initial

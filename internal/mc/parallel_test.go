@@ -45,6 +45,31 @@ func equivalenceConfigs(t *testing.T) map[string]func() mc.Config {
 			}
 		},
 		"lcm": func() mc.Config { return lcmConfig(t, lcm.Base, 2, 1, 0) },
+		// Symmetry-reduced runs at 3 nodes (the smallest shape with a
+		// nontrivial group): canonicalization happens inside the workers'
+		// claim path, so the determinism contract must hold there too.
+		"stache-sym": func() mc.Config {
+			cfg := stacheConfig(t, 3, 1, 1)
+			cfg.Symmetry = mc.SymmetryOn
+			return cfg
+		},
+		"stache-buggy-sym": func() mc.Config {
+			p, err := stache.CompileBuggy()
+			if err != nil {
+				t.Fatalf("compile buggy: %v", err)
+			}
+			return mc.Config{
+				Proto: p, Support: stache.MustSupport(p),
+				Nodes: 3, Blocks: 1,
+				Events: stache.NewEvents(p), CheckCoherence: true,
+				Symmetry: mc.SymmetryOn,
+			}
+		},
+		"lcm-sym": func() mc.Config {
+			cfg := lcmConfig(t, lcm.Base, 3, 1, 0)
+			cfg.Symmetry = mc.SymmetryOn
+			return cfg
+		},
 	}
 }
 
@@ -167,34 +192,50 @@ func TestSnapshotRestoreCloneRoundTrip(t *testing.T) {
 // workers (the deterministic min-claim merge makes even the chosen parent
 // chain worker-count independent).
 func TestBuggyTraceIdenticalAcrossWorkers(t *testing.T) {
-	run := func(workers int) *mc.Result {
-		p, err := stache.CompileBuggy()
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := mc.Check(mc.Config{
-			Proto: p, Support: stache.MustSupport(p),
-			Nodes: 2, Blocks: 1,
-			Events: stache.NewEvents(p), CheckCoherence: true,
-			Workers: workers,
+	// With symmetry on, the trace is additionally de-permuted from canonical
+	// orbit representatives back into original coordinates; the result must
+	// stay worker-count independent and replay on an unreduced world.
+	for _, sym := range []mc.SymmetryMode{mc.SymmetryOff, mc.SymmetryOn} {
+		t.Run("symmetry-"+sym.String(), func(t *testing.T) {
+			var replayCfg mc.Config
+			run := func(workers int) *mc.Result {
+				p, err := stache.CompileBuggy()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := mc.Config{
+					Proto: p, Support: stache.MustSupport(p),
+					Nodes: 3, Blocks: 1,
+					Events: stache.NewEvents(p), CheckCoherence: true,
+					Workers: workers, Symmetry: sym,
+				}
+				replayCfg = cfg
+				res, err := mc.Check(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Violation == nil {
+					t.Fatal("seeded bug not found")
+				}
+				return res
+			}
+			r1, r8 := run(1), run(8)
+			if len(r1.Violation.Trace) != len(r8.Violation.Trace) {
+				t.Fatalf("trace lengths differ: %d vs %d",
+					len(r1.Violation.Trace), len(r8.Violation.Trace))
+			}
+			for i := range r1.Violation.Trace {
+				if r1.Violation.Trace[i] != r8.Violation.Trace[i] {
+					t.Errorf("trace step %d differs:\n  w1: %s\n  w8: %s",
+						i, r1.Violation.Trace[i], r8.Violation.Trace[i])
+				}
+			}
+			// The machine-readable steps must replay in original (unreduced)
+			// coordinates from the initial state.
+			replayCfg.Symmetry = mc.SymmetryOff
+			if err := mc.ReplaySteps(replayCfg, r8.Violation.Steps, nil); err != nil {
+				t.Errorf("counterexample does not replay: %v", err)
+			}
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Violation == nil {
-			t.Fatal("seeded bug not found")
-		}
-		return res
-	}
-	r1, r8 := run(1), run(8)
-	if len(r1.Violation.Trace) != len(r8.Violation.Trace) {
-		t.Fatalf("trace lengths differ: %d vs %d",
-			len(r1.Violation.Trace), len(r8.Violation.Trace))
-	}
-	for i := range r1.Violation.Trace {
-		if r1.Violation.Trace[i] != r8.Violation.Trace[i] {
-			t.Errorf("trace step %d differs:\n  w1: %s\n  w8: %s",
-				i, r1.Violation.Trace[i], r8.Violation.Trace[i])
-		}
 	}
 }

@@ -1,0 +1,447 @@
+package mc
+
+import (
+	"fmt"
+
+	"teapot/internal/analysis"
+	"teapot/internal/runtime"
+	"teapot/internal/vm"
+)
+
+// Certificate-gated symmetry reduction.
+//
+// A symmetric protocol cannot tell node 1 from node 2 (or block 0 from
+// block 1), so the reachable graph decomposes into permutation orbits and
+// the checker only needs one representative per orbit. Soundness never
+// rests on an mc heuristic: reduction turns on only when
+//
+//   - the static prover (internal/analysis.ProveSymmetry) certifies both
+//     dimensions over the compiled IR,
+//   - every support routine the IR calls is vouched equivariant by the
+//     support module itself (runtime.SymmetryDecl), with its node-bitmask
+//     variable slots declared so canonicalization can re-index them,
+//   - the event generator declares equivariance (EquivariantEvents), and
+//   - no abstract codec is in play (opaque values cannot be permuted).
+//
+// The admissible group is {(π over nodes, σ over blocks) : π(home(b)) =
+// home(σ(b)) for all b} — home bindings are configuration, not state, so a
+// permutation must map homes onto homes. Canonicalization encodes the
+// world under every group element and keeps the lexicographically smallest
+// key; the winning permutation index is stored alongside the int32
+// parent/action arena so counterexample traces can be rebuilt in original
+// coordinates (see buildViolation).
+
+// SymmetryMode selects the reduction policy for a run.
+type SymmetryMode int
+
+// Symmetry modes. The zero value is off so existing configurations are
+// untouched byte for byte.
+const (
+	// SymmetryOff never reduces.
+	SymmetryOff SymmetryMode = iota
+	// SymmetryAuto reduces when the certificate and vouches allow it and
+	// silently runs unreduced otherwise (Result.SymmetryNote says why).
+	SymmetryAuto
+	// SymmetryOn requires reduction: configuration fails with an error
+	// naming the first refutation witness or missing vouch otherwise.
+	SymmetryOn
+)
+
+func (m SymmetryMode) String() string {
+	switch m {
+	case SymmetryOff:
+		return "off"
+	case SymmetryAuto:
+		return "auto"
+	case SymmetryOn:
+		return "on"
+	}
+	return fmt.Sprintf("symmetry(%d)", int(m))
+}
+
+// ParseSymmetryMode parses the -symmetry flag values.
+func ParseSymmetryMode(s string) (SymmetryMode, error) {
+	switch s {
+	case "off":
+		return SymmetryOff, nil
+	case "auto":
+		return SymmetryAuto, nil
+	case "on":
+		return SymmetryOn, nil
+	}
+	return SymmetryOff, fmt.Errorf("unknown symmetry mode %q (want auto, off, or on)", s)
+}
+
+// EquivariantEvents marks event generators whose Enabled output commutes
+// with node/block permutation of the world: permuting the world permutes
+// the enabled events and changes nothing else. All bundled generators
+// qualify (they observe only state names, access modes, per-block
+// counters, and message predicates); the marker makes that an explicit
+// promise the reduction gate can check.
+type EquivariantEvents interface {
+	SymmetricEvents()
+}
+
+// maxSymmetryDim bounds permutation-group enumeration (dim! each way).
+const maxSymmetryDim = 8
+
+// perm is one admissible group element.
+type perm struct {
+	node []int // node n appears as node[n] in the permuted world
+	blk  []int // block b appears as blk[b]
+}
+
+func (g *perm) identity() bool {
+	for i, v := range g.node {
+		if v != i {
+			return false
+		}
+	}
+	for i, v := range g.blk {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// inverse returns the inverse permutation.
+func (g *perm) inverse() *perm {
+	inv := &perm{node: make([]int, len(g.node)), blk: make([]int, len(g.blk))}
+	for i, v := range g.node {
+		inv.node[v] = i
+	}
+	for i, v := range g.blk {
+		inv.blk[v] = i
+	}
+	return inv
+}
+
+// compose returns h∘g: first apply g, then h.
+func compose(h, g *perm) *perm {
+	out := &perm{node: make([]int, len(g.node)), blk: make([]int, len(g.blk))}
+	for i, v := range g.node {
+		out.node[i] = h.node[v]
+	}
+	for i, v := range g.blk {
+		out.blk[i] = h.blk[v]
+	}
+	return out
+}
+
+// reduction is the active symmetry machinery for one run.
+type reduction struct {
+	group     []*perm // identity first, then enumeration order
+	maskSlots []int   // protocol-variable slots holding node bitmasks
+}
+
+// buildReduction decides whether reduction is enabled for this
+// configuration. It returns (nil, reason, nil) to run unreduced — always
+// fine under SymmetryAuto — and an error under SymmetryOn, which demands
+// reduction or an explanation loud enough to stop the run.
+func buildReduction(cfg *Config) (*reduction, string, error) {
+	refuse := func(format string, args ...any) (*reduction, string, error) {
+		reason := fmt.Sprintf(format, args...)
+		if cfg.Symmetry == SymmetryOn {
+			return nil, "", fmt.Errorf("mc: -symmetry=on but %s", reason)
+		}
+		return nil, reason, nil
+	}
+	if cfg.Symmetry == SymmetryOff {
+		return nil, "", nil
+	}
+	if cfg.Codec != nil {
+		return refuse("the protocol snapshots abstract values the checker cannot permute")
+	}
+	if cfg.Nodes > maxSymmetryDim || cfg.Blocks > maxSymmetryDim {
+		return refuse("%d nodes / %d blocks exceeds the permutation enumeration bound (%d)",
+			cfg.Nodes, cfg.Blocks, maxSymmetryDim)
+	}
+	cert := analysis.ProveSymmetry(cfg.Proto)
+	for _, dim := range []struct {
+		name string
+		d    *analysis.SymmetryDim
+	}{{"node", &cert.Node}, {"block", &cert.Block}} {
+		if !dim.d.Equivariant {
+			w := dim.d.Witnesses[0]
+			return refuse("the static prover refutes %s symmetry: handler %s, %s (instr %d: %s)",
+				dim.name, w.Handler, w.Reason, w.Index, w.Instr)
+		}
+	}
+	var maskSlots []int
+	if len(cert.Obligations) > 0 {
+		decl, ok := cfg.Support.(runtime.SymmetryDecl)
+		if !ok {
+			return refuse("support module does not declare routine equivariance (runtime.SymmetryDecl)")
+		}
+		vouched := map[string]bool{}
+		for _, r := range decl.EquivariantRoutines() {
+			vouched[r] = true
+		}
+		for _, ob := range cert.Obligations {
+			if !vouched[ob.Routine] {
+				return refuse("support routine %s is not vouched equivariant", ob.Routine)
+			}
+		}
+		maskSlots = decl.NodeMaskSlots()
+	}
+	if cfg.Events != nil {
+		if _, ok := cfg.Events.(EquivariantEvents); !ok {
+			return refuse("event generator does not declare equivariance (mc.EquivariantEvents)")
+		}
+	}
+	group := enumerateGroup(cfg)
+	return &reduction{group: group, maskSlots: maskSlots}, "", nil
+}
+
+// enumerateGroup lists the admissible (node, block) permutation pairs,
+// identity first: every (π, σ) with π(home(b)) = home(σ(b)) for all b.
+func enumerateGroup(cfg *Config) []*perm {
+	var group []*perm
+	for _, sigma := range permutations(cfg.Blocks) {
+		for _, pi := range permutations(cfg.Nodes) {
+			ok := true
+			for b := 0; b < cfg.Blocks; b++ {
+				if pi[cfg.HomeOf(b)] != cfg.HomeOf(sigma[b]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				group = append(group, &perm{node: pi, blk: sigma})
+			}
+		}
+	}
+	// Lexicographic enumeration puts the identity pair first already;
+	// assert rather than assume, since canonicalize short-circuits on it.
+	if len(group) == 0 || !group[0].identity() {
+		panic("mc: symmetry group enumeration lost the identity")
+	}
+	return group
+}
+
+// permutations returns all permutations of 0..n-1 in lexicographic order.
+func permutations(n int) [][]int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		// Pick the k-th element from the remaining values in ascending
+		// order by swapping each candidate into place and sorting the tail
+		// back afterwards (the tail stays sorted between picks).
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			tail := append([]int(nil), cur[k+1:]...)
+			sortInts(cur[k+1:])
+			rec(k + 1)
+			copy(cur[k+1:], tail)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// canonicalize returns the lexicographically smallest encoding of w over
+// the group, plus the index of the permutation that produced it.
+func (r *reduction) canonicalize(w *World) (string, int32, error) {
+	best, err := w.encode()
+	if err != nil {
+		return "", 0, err
+	}
+	bestIdx := int32(0)
+	for i := 1; i < len(r.group); i++ {
+		k, err := r.permuteWorld(w, r.group[i]).encode()
+		if err != nil {
+			return "", 0, err
+		}
+		if k < best {
+			best, bestIdx = k, int32(i)
+		}
+	}
+	return best, bestIdx, nil
+}
+
+// permValue maps identity-typed scalars through g and deep-copies value
+// containers (state values, continuations) so the permuted world never
+// aliases mutable structure with the original. Info handles are untouched:
+// the encoder writes only their kind (the handle is reconstructed from the
+// receiving block on decode), so their referent is irrelevant to the key.
+func (r *reduction) permValue(v vm.Value, g *perm) vm.Value {
+	switch v.Kind {
+	case vm.KNode:
+		if v.Int >= 0 && int(v.Int) < len(g.node) {
+			v.Int = int64(g.node[v.Int])
+		}
+	case vm.KID:
+		if v.Int >= 0 && int(v.Int) < len(g.blk) {
+			v.Int = int64(g.blk[v.Int])
+		}
+	case vm.KState:
+		if s := v.State(); s != nil {
+			v.Ref = r.permStateVal(s, g)
+		}
+	case vm.KCont:
+		if c := v.Cont(); c != nil {
+			nc := &vm.Cont{Fn: c.Fn, Frag: c.Frag, Site: c.Site, Heap: c.Heap}
+			if len(c.Saved) > 0 {
+				nc.Saved = make([]vm.Value, len(c.Saved))
+				for i, a := range c.Saved {
+					nc.Saved[i] = r.permValue(a, g)
+				}
+			}
+			v.Ref = nc
+		}
+	}
+	return v
+}
+
+func (r *reduction) permStateVal(s *vm.StateVal, g *perm) *vm.StateVal {
+	ns := &vm.StateVal{State: s.State}
+	if len(s.Args) > 0 {
+		ns.Args = make([]vm.Value, len(s.Args))
+		for i, a := range s.Args {
+			ns.Args[i] = r.permValue(a, g)
+		}
+	}
+	return ns
+}
+
+// permVars maps a block's protocol variables: element-wise by value kind,
+// then bit-wise re-indexing for the declared node-bitmask slots.
+func (r *reduction) permVars(vars []vm.Value, g *perm) []vm.Value {
+	out := make([]vm.Value, len(vars))
+	for i, v := range vars {
+		out[i] = r.permValue(v, g)
+	}
+	for _, slot := range r.maskSlots {
+		v := vars[slot]
+		var mask int64
+		for bit := 0; bit < 64; bit++ {
+			if v.Int&(1<<bit) == 0 {
+				continue
+			}
+			if bit < len(g.node) {
+				mask |= 1 << g.node[bit]
+			} else {
+				mask |= 1 << bit
+			}
+		}
+		v.Int = mask
+		out[slot] = v
+	}
+	return out
+}
+
+func (r *reduction) permMessage(m *runtime.Message, g *perm) *runtime.Message {
+	nm := &runtime.Message{Tag: m.Tag, ID: m.ID, Src: m.Src, Data: m.Data, Val: m.Val}
+	if nm.ID >= 0 && nm.ID < len(g.blk) {
+		nm.ID = g.blk[nm.ID]
+	}
+	if nm.Src >= 0 && nm.Src < len(g.node) {
+		nm.Src = g.node[nm.Src]
+	}
+	if len(m.Payload) > 0 {
+		nm.Payload = make([]vm.Value, len(m.Payload))
+		for i, v := range m.Payload {
+			nm.Payload[i] = r.permValue(v, g)
+		}
+	}
+	return nm
+}
+
+// permEvent maps an event's payload through g (name, tag, and stall flag
+// are identity-independent).
+func (r *reduction) permEvent(ev Event, g *perm) Event {
+	if len(ev.Payload) > 0 {
+		payload := make([]vm.Value, len(ev.Payload))
+		for i, v := range ev.Payload {
+			payload[i] = r.permValue(v, g)
+		}
+		ev.Payload = payload
+	}
+	return ev
+}
+
+// permAction maps an action on world w to the corresponding action on
+// permuteWorld(w, g). Channel positions are preserved: permuteWorld keeps
+// per-channel message order.
+func (r *reduction) permAction(a action, g *perm) action {
+	switch a.kind {
+	case actDeliver, actDrop, actDup, actCorrupt:
+		a.from = g.node[a.from]
+		a.to = g.node[a.to]
+	case actEvent:
+		a.node = g.node[a.node]
+		a.block = g.blk[a.block]
+		a.event = r.permEvent(a.event, g)
+	case actTimeout:
+		a.node = g.node[a.node]
+		a.block = g.blk[a.block]
+	}
+	return a
+}
+
+// permuteWorld builds the image of w under g: node n's engine state moves
+// to node g.node[n], block b's to slot g.blk[b], channels move end-to-end
+// with message order preserved, and every embedded identity value is
+// mapped. Fault budgets are permutation-invariant and copy through. The
+// result shares no mutable structure with w.
+func (r *reduction) permuteWorld(w *World, g *perm) *World {
+	cfg := w.cfg
+	pw := newWorld(cfg)
+	for n := 0; n < cfg.Nodes; n++ {
+		for b := 0; b < cfg.Blocks; b++ {
+			src := w.engines[n].Blocks[b]
+			dst := pw.engines[g.node[n]].Blocks[g.blk[b]]
+			dst.State = r.permStateVal(src.State, g)
+			dst.Vars = r.permVars(src.Vars, g)
+			dst.Deferred = nil
+			if len(src.Deferred) > 0 {
+				dst.Deferred = make([]*runtime.Message, len(src.Deferred))
+				for i, m := range src.Deferred {
+					dst.Deferred[i] = r.permMessage(m, g)
+				}
+			}
+			pw.access[g.node[n]*cfg.Blocks+g.blk[b]] = w.access[n*cfg.Blocks+b]
+		}
+	}
+	for from := 0; from < cfg.Nodes; from++ {
+		for to := 0; to < cfg.Nodes; to++ {
+			msgs := w.channels[from*cfg.Nodes+to]
+			if len(msgs) == 0 {
+				continue // newWorld channels start empty
+			}
+			out := make([]*runtime.Message, len(msgs))
+			for i, m := range msgs {
+				out[i] = r.permMessage(m, g)
+			}
+			pw.channels[g.node[from]*cfg.Nodes+g.node[to]] = out
+		}
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		s := w.stalled[n]
+		if s >= 0 {
+			s = g.blk[s]
+		}
+		pw.stalled[g.node[n]] = s
+	}
+	pw.drops, pw.dups, pw.corrupts = w.drops, w.dups, w.corrupts
+	pw.sendErr = w.sendErr
+	return pw
+}

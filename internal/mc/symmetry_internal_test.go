@@ -1,0 +1,225 @@
+package mc
+
+import (
+	"testing"
+
+	"teapot/internal/cont"
+	"teapot/internal/lower"
+	"teapot/internal/parser"
+	"teapot/internal/runtime"
+	"teapot/internal/sema"
+)
+
+// TestPermAlgebra: inverse and compose satisfy the group laws the trace
+// de-permutation in buildViolation leans on.
+func TestPermAlgebra(t *testing.T) {
+	g := &perm{node: []int{1, 2, 0, 3}, blk: []int{1, 0}}
+	h := &perm{node: []int{0, 3, 2, 1}, blk: []int{0, 1}}
+	if !compose(g, g.inverse()).identity() || !compose(g.inverse(), g).identity() {
+		t.Error("g∘g⁻¹ is not the identity")
+	}
+	hg := compose(h, g)
+	// (h∘g)(n) = h(g(n)): node 0 -> g 1 -> h 3.
+	if hg.node[0] != 3 {
+		t.Errorf("compose order wrong: (h∘g)(0) = %d, want 3", hg.node[0])
+	}
+	inv := hg.inverse()
+	if !compose(hg, inv).identity() {
+		t.Error("(h∘g)⁻¹ is not an inverse")
+	}
+}
+
+// TestEnumerateGroup pins the admissible group orders for the shapes the
+// docs quote: permutations must map homes onto homes, so with one block
+// every element fixes its home node and permutes only the others.
+func TestEnumerateGroup(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, blocks, want int
+	}{
+		{2, 1, 1}, // must fix node 0: identity only
+		{3, 1, 2}, // swap nodes 1,2
+		{4, 1, 6}, // S3 on nodes 1..3
+		{3, 2, 2}, // swap blocks 0,1 together with homes 0,1
+		{4, 2, 4}, // block swap × swap of non-home nodes 2,3
+	} {
+		cfg := &Config{Nodes: tc.nodes, Blocks: tc.blocks}
+		cfg.HomeOf = func(id int) int { return id % cfg.Nodes }
+		group := enumerateGroup(cfg)
+		if len(group) != tc.want {
+			t.Errorf("%dn/%db: group order %d, want %d", tc.nodes, tc.blocks, len(group), tc.want)
+		}
+		if !group[0].identity() {
+			t.Errorf("%dn/%db: group[0] is not the identity", tc.nodes, tc.blocks)
+		}
+		for _, g := range group {
+			for b := 0; b < tc.blocks; b++ {
+				if g.node[cfg.HomeOf(b)] != cfg.HomeOf(g.blk[b]) {
+					t.Fatalf("%dn/%db: inadmissible element %v", tc.nodes, tc.blocks, g)
+				}
+			}
+		}
+	}
+}
+
+// pingSource is a minimal symmetric protocol compiled inside this package
+// (the bundled protocols import core, which imports mc): every non-home
+// node pings the home once and the home answers.
+const pingSource = `
+protocol Ping begin
+  state Cache_Inv();
+  state Cache_Done();
+  state Home();
+
+  message PING_FAULT;
+  message PING;
+  message PONG;
+end;
+
+state Ping.Cache_Inv()
+begin
+  message PING_FAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PING, id);
+    SetState(info, Cache_Done{});
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("unexpected msg in Cache_Inv");
+  end;
+end;
+
+state Ping.Cache_Done()
+begin
+  message PONG (id : ID; var info : INFO; src : NODE)
+  begin
+    Drop();
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("unexpected msg in Cache_Done");
+  end;
+end;
+
+state Ping.Home()
+begin
+  message PING (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(src, PONG, id);
+  end;
+  message DEFAULT (id : ID; var info : INFO; src : NODE)
+  begin
+    Error("unexpected msg to Home");
+  end;
+end;
+`
+
+// compilePing mirrors core.Compile without importing core.
+func compilePing(t *testing.T) *runtime.Protocol {
+	t.Helper()
+	prog, err := parser.Parse("ping.tea", pingSource)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	irp := lower.Lower(sp)
+	opts := cont.Options{Liveness: true, ConstCont: true}
+	cont.Transform(irp, opts)
+	p := &runtime.Protocol{IR: irp, Opts: opts}
+	p.HomeStart = p.StateIndex("Home")
+	p.CacheStart = p.StateIndex("Cache_Inv")
+	return p
+}
+
+type pingEvents struct{ tag int }
+
+func (e *pingEvents) Enabled(w *World, node, block int) []Event {
+	if node == w.cfg.HomeOf(block) || w.StateName(node, block) != "Cache_Inv" {
+		return nil
+	}
+	return []Event{{Name: "PING_FAULT", Tag: e.tag}}
+}
+
+func (e *pingEvents) SymmetricEvents() {}
+
+// TestCanonicalFixpoint walks the full reachable space of the ping
+// protocol and checks, for every reachable world, the two properties the
+// visited table relies on:
+//
+//   - orbit invariance: every permuted image of a world canonicalizes to
+//     the same key, so an orbit can never occupy two arena slots;
+//   - fixpoint: decoding a canonical key and re-canonicalizing returns the
+//     key itself under the identity, so arena keys (and the shard
+//     fingerprints derived from them) are stable representatives.
+func TestCanonicalFixpoint(t *testing.T) {
+	p := compilePing(t)
+	cfg := Config{
+		Proto:    p,
+		Nodes:    3,
+		Blocks:   1,
+		Symmetry: SymmetryOn,
+	}
+	cfg.Events = &pingEvents{tag: p.MsgIndex("PING_FAULT")}
+	cfg.normalize()
+	red, note, err := buildReduction(&cfg)
+	if err != nil {
+		t.Fatalf("buildReduction: %v (note %q)", err, note)
+	}
+	if len(red.group) != 2 {
+		t.Fatalf("group order %d, want 2", len(red.group))
+	}
+
+	seen := map[string]bool{}
+	queue := []*World{newWorld(&cfg)}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		key, _, err := red.canonicalize(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if len(seen) > 500 {
+			t.Fatal("ping state space exploded; protocol or reduction broken")
+		}
+		for gi, g := range red.group {
+			k, _, err := red.canonicalize(red.permuteWorld(w, g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k != key {
+				t.Fatalf("orbit split: image under group[%d] canonicalizes to a different key", gi)
+			}
+		}
+		cw, err := cfg.decode(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, idx2, err := red.canonicalize(cw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k2 != key || idx2 != 0 {
+			t.Fatalf("canonical key is not a fixpoint (perm index %d)", idx2)
+		}
+		for _, a := range w.actions() {
+			wa, err := w.clone()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wa.apply(a); err != nil {
+				t.Fatalf("ping protocol error: %v", err)
+			}
+			queue = append(queue, wa)
+		}
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d reachable orbits; event generator inert", len(seen))
+	}
+	t.Logf("%d canonical orbits, all fixpoints", len(seen))
+}

@@ -1,0 +1,221 @@
+package mc_test
+
+import (
+	"strings"
+	"testing"
+
+	"teapot/internal/fuzz"
+	"teapot/internal/mc"
+	"teapot/internal/netmodel"
+	"teapot/internal/protocols"
+)
+
+// TestSymmetryEquivalence is the soundness contract of the reduction: for
+// every bundled runnable protocol, checking with symmetry reduction must
+// reach the same verdict as checking without — same violation kind (or
+// none), found at the same BFS depth with a counterexample of the same
+// length — while visiting ~|G|× fewer states. Counterexamples from the
+// reduced run must be valid in original coordinates: they are replayed
+// step-for-step through the fuzz package's independent engine harness.
+func TestSymmetryEquivalence(t *testing.T) {
+	cases := []struct {
+		name  string
+		net   netmodel.Model
+		group int // expected group order at 3 nodes / 1 block
+	}{
+		{"stache", netmodel.Model{Reorder: 1}, 2},
+		{"stache-ft", netmodel.Model{MaxDrops: 1}, 2},
+		// Verifies, but is deliberately not node-symmetric: the certificate
+		// gate must refuse reduction and still agree with the full run.
+		{"stache-asym", netmodel.Model{}, 1},
+		{"stache-buggy", netmodel.Model{}, 2},
+		{"stache-ft-buggy", netmodel.Model{MaxDrops: 1}, 2},
+		{"lcm", netmodel.Model{}, 2},
+		{"lcm-mcc", netmodel.Model{}, 2},
+		{"bufwrite", netmodel.Model{}, 2},
+		{"update", netmodel.Model{}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && tc.name == "stache-ft" {
+				t.Skip("multi-second state space; run without -short")
+			}
+			spec, err := protocols.Spec(tc.name, 3, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Net = tc.net
+			full, err := mc.Check(spec.MCConfig())
+			if err != nil {
+				t.Fatalf("unreduced: %v", err)
+			}
+			cfg := spec.MCConfig()
+			cfg.Symmetry = mc.SymmetryAuto
+			red, err := mc.Check(cfg)
+			if err != nil {
+				t.Fatalf("reduced: %v", err)
+			}
+			if red.SymmetryGroup != tc.group {
+				t.Errorf("group order = %d (note %q), want %d",
+					red.SymmetryGroup, red.SymmetryNote, tc.group)
+			}
+			switch {
+			case (full.Violation == nil) != (red.Violation == nil):
+				t.Fatalf("verdicts disagree: unreduced %v, reduced %v",
+					full.Violation, red.Violation)
+			case full.Violation != nil:
+				if full.Violation.Kind != red.Violation.Kind {
+					t.Errorf("violation kind: unreduced %q, reduced %q",
+						full.Violation.Kind, red.Violation.Kind)
+				}
+				if len(full.Violation.Trace) != len(red.Violation.Trace) {
+					t.Errorf("trace length: unreduced %d, reduced %d",
+						len(full.Violation.Trace), len(red.Violation.Trace))
+				}
+				// The reduced trace must hold up in original coordinates on
+				// an independent substrate.
+				if err := fuzz.DiffReplay(spec, red.Violation); err != nil {
+					t.Errorf("reduced counterexample does not replay: %v", err)
+				}
+			}
+			if full.MaxDepth != red.MaxDepth {
+				t.Errorf("max depth: unreduced %d, reduced %d", full.MaxDepth, red.MaxDepth)
+			}
+			if tc.group > 1 && red.States >= full.States {
+				t.Errorf("no reduction: %d states reduced vs %d unreduced", red.States, full.States)
+			}
+			t.Logf("states %d -> %d (group %d, ratio %.3f)",
+				full.States, red.States, red.SymmetryGroup,
+				float64(full.States)/float64(red.States))
+		})
+	}
+}
+
+// TestSymmetryReductionRatio pins the measured reduction factors. Group
+// theory caps the ratio at |G| with equality only when no reachable state
+// is a fixed point of any non-identity permutation; the initial state is
+// always such a fixed point, so 3 nodes / 1 block (|G| = 2) lands just
+// under 2 and 4 nodes / 1 block (|G| = 6) well above it.
+func TestSymmetryReductionRatio(t *testing.T) {
+	check := func(nodes, blocks, reorder int, wantGroup int, wantRatio float64) {
+		t.Helper()
+		full, err := mc.Check(stacheConfig(t, nodes, blocks, reorder))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := stacheConfig(t, nodes, blocks, reorder)
+		cfg.Symmetry = mc.SymmetryOn
+		red, err := mc.Check(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.SymmetryGroup != wantGroup {
+			t.Fatalf("%dn/%db: group order %d, want %d", nodes, blocks, red.SymmetryGroup, wantGroup)
+		}
+		ratio := float64(full.States) / float64(red.States)
+		if ratio < wantRatio {
+			t.Errorf("%dn/%db: reduction ratio %.3f < %.2f (states %d -> %d)",
+				nodes, blocks, ratio, wantRatio, full.States, red.States)
+		}
+		if ratio > float64(wantGroup) {
+			t.Errorf("%dn/%db: ratio %.3f exceeds group order %d — reduction merged distinct orbits",
+				nodes, blocks, ratio, wantGroup)
+		}
+		t.Logf("%dn/%db reorder=%d: %d -> %d states, ratio %.3f (|G| = %d)",
+			nodes, blocks, reorder, full.States, red.States, ratio, wantGroup)
+	}
+	check(3, 1, 1, 2, 1.5)
+	if !testing.Short() {
+		check(4, 1, 0, 6, 2.0)
+	}
+}
+
+// TestSymmetryGate covers the three modes on the asymmetric fixture and a
+// trivial-group shape. stache-asym verifies dynamically, so only the static
+// certificate separates it from stache; SymmetryOn must fail loudly with
+// the refutation witness, SymmetryAuto must fall back to an unreduced run
+// and say why.
+func TestSymmetryGate(t *testing.T) {
+	spec, err := protocols.Spec("stache-asym", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := spec.MCConfig()
+	cfg.Symmetry = mc.SymmetryOn
+	if _, err := mc.Check(cfg); err == nil {
+		t.Error("SymmetryOn accepted the asymmetric protocol")
+	} else {
+		for _, want := range []string{"-symmetry=on", "refutes node symmetry", "Cache_RO.PUT_NO_DATA_REQ"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("refusal %q does not mention %q", err, want)
+			}
+		}
+	}
+
+	cfg = spec.MCConfig()
+	cfg.Symmetry = mc.SymmetryAuto
+	res, err := mc.Check(cfg)
+	if err != nil {
+		t.Fatalf("SymmetryAuto must fall back, got error: %v", err)
+	}
+	if res.SymmetryGroup != 1 {
+		t.Errorf("asymmetric protocol reduced by group of %d", res.SymmetryGroup)
+	}
+	if !strings.Contains(res.SymmetryNote, "refutes node symmetry") {
+		t.Errorf("SymmetryNote = %q, want the prover's refutation", res.SymmetryNote)
+	}
+	if res.Violation != nil {
+		t.Errorf("stache-asym should verify: %v", res.Violation)
+	}
+
+	// 2 nodes / 1 block admits only the identity (every non-home node map
+	// must fix the home); SymmetryOn is a no-op there, not an error.
+	cfg2 := stacheConfig(t, 2, 1, 1)
+	cfg2.Symmetry = mc.SymmetryOn
+	res2, err := mc.Check(cfg2)
+	if err != nil {
+		t.Fatalf("trivial group must be accepted: %v", err)
+	}
+	if res2.SymmetryGroup != 1 {
+		t.Errorf("2n/1b group order = %d, want 1", res2.SymmetryGroup)
+	}
+	full2, err := mc.Check(stacheConfig(t, 2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.States != full2.States {
+		t.Errorf("trivial reduction changed the state count: %d vs %d", res2.States, full2.States)
+	}
+}
+
+// TestSymmetryProgressReportsGroup: the per-layer snapshots carry the group
+// order, and the shard-balance statistics keep describing the stored —
+// post-canonicalization — fingerprints (their totals must sum to the
+// reduced state count, not the full one).
+func TestSymmetryProgressReportsGroup(t *testing.T) {
+	cfg := stacheConfig(t, 3, 1, 0)
+	cfg.Symmetry = mc.SymmetryOn
+	var snaps []mc.ProgressInfo
+	cfg.Progress = func(p mc.ProgressInfo) { snaps = append(snaps, p) }
+	res, err := mc.Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	for _, p := range snaps {
+		if p.SymmetryGroup != 2 {
+			t.Fatalf("snapshot SymmetryGroup = %d, want 2", p.SymmetryGroup)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.States != res.States {
+		t.Errorf("final snapshot states %d != result %d", last.States, res.States)
+	}
+	if last.ShardMax*64 < int64(res.States) {
+		t.Errorf("shard stats inconsistent with reduced count: max %d over 64 shards, %d states",
+			last.ShardMax, res.States)
+	}
+}

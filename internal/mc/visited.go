@@ -48,15 +48,23 @@ type stateRec struct {
 	key    string
 	parent int32 // arena index of the parent state, -1 for the root
 	action int32 // ordinal into the parent's action list, -1 for the root
+	// perm is the index (into the run's permutation group) of the
+	// permutation that mapped the concretely-reached successor onto key.
+	// Always 0 (identity) when symmetry reduction is off; buildViolation
+	// composes these down the parent chain to rebuild traces in the
+	// original, unpermuted coordinates.
+	perm int32
 }
 
 // claim is a tentative intra-layer discovery: state key was reached from
-// the state at layer position pos via its ord-th action.
+// the state at layer position pos via its ord-th action, permuted onto its
+// canonical representative by group element perm.
 type claim struct {
 	key  string
 	fp   uint64
 	pos  int32
 	ord  int32
+	perm int32
 	next *claim // chain of distinct pending keys sharing a fingerprint
 }
 
@@ -88,10 +96,12 @@ func newVisited() *visitedTable {
 	return t
 }
 
-// addRoot installs the initial state and returns its arena index.
-func (t *visitedTable) addRoot(key string) int32 {
+// addRoot installs the initial state and returns its arena index. perm is
+// the group element that canonicalized the initial world (0 when symmetry
+// reduction is off).
+func (t *visitedTable) addRoot(key string, perm int32) int32 {
 	fp := t.hash(key)
-	t.arena = append(t.arena, stateRec{key: key, parent: -1, action: -1})
+	t.arena = append(t.arena, stateRec{key: key, parent: -1, action: -1, perm: perm})
 	s := &t.shards[fp%numShards]
 	s.seen[fp] = append(s.seen[fp], 0)
 	t.keyBytes += int64(len(key))
@@ -103,7 +113,7 @@ func (t *visitedTable) addRoot(key string) int32 {
 // ord. Already-committed states are ignored; claims for the same key made
 // during one layer are merged keeping the smallest (pos, ord). Safe for
 // concurrent use while a layer expands.
-func (t *visitedTable) claim(key string, pos, ord int32) {
+func (t *visitedTable) claim(key string, pos, ord, perm int32) {
 	fp := t.hash(key)
 	s := &t.shards[fp%numShards]
 	s.mu.Lock()
@@ -118,12 +128,12 @@ func (t *visitedTable) claim(key string, pos, ord int32) {
 	for c := s.pending[fp]; c != nil; c = c.next {
 		if c.key == key {
 			if pos < c.pos || (pos == c.pos && ord < c.ord) {
-				c.pos, c.ord = pos, ord
+				c.pos, c.ord, c.perm = pos, ord, perm
 			}
 			return
 		}
 	}
-	s.pending[fp] = &claim{key: key, fp: fp, pos: pos, ord: ord, next: s.pending[fp]}
+	s.pending[fp] = &claim{key: key, fp: fp, pos: pos, ord: ord, perm: perm, next: s.pending[fp]}
 }
 
 // commit folds the layer's claims into the arena in deterministic
@@ -153,7 +163,7 @@ func (t *visitedTable) commit(layer []int32) []int32 {
 	next := make([]int32, 0, len(claims))
 	for _, c := range claims {
 		idx := int32(len(t.arena))
-		t.arena = append(t.arena, stateRec{key: c.key, parent: layer[c.pos], action: c.ord})
+		t.arena = append(t.arena, stateRec{key: c.key, parent: layer[c.pos], action: c.ord, perm: c.perm})
 		s := &t.shards[c.fp%numShards]
 		s.seen[c.fp] = append(s.seen[c.fp], idx)
 		t.keyBytes += int64(len(c.key))

@@ -90,3 +90,7 @@ func (g *Events) Enabled(w *mc.World, node, block int) []mc.Event {
 	}
 	return nil
 }
+
+// SymmetricEvents implements mc.EquivariantEvents: enablement reads state
+// names and the per-block buffered counter only.
+func (e *Events) SymmetricEvents() {}

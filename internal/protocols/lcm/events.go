@@ -109,3 +109,7 @@ func (g *Events) Enabled(w *mc.World, node, block int) []mc.Event {
 	}
 	return nil
 }
+
+// SymmetricEvents implements mc.EquivariantEvents: phase detection scans
+// state names and per-block message predicates, never concrete node ids.
+func (e *Events) SymmetricEvents() {}

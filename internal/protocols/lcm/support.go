@@ -122,3 +122,16 @@ func (s *Support) Call(ctx *runtime.Ctx, name string, args []*vm.Value) (vm.Valu
 func (s *Support) ModConst(ctx *runtime.Ctx, name string) vm.Value {
 	return s.stache.ModConst(ctx, name)
 }
+
+// NodeMaskSlots implements runtime.SymmetryDecl: 'sharers' (the consumer
+// set) is a node bitmask; 'holder' is NODE-typed and permutes by value.
+func (s *Support) NodeMaskSlots() []int { return []int{s.sharersSlot} }
+
+// EquivariantRoutines implements runtime.SymmetryDecl: the LCM routines
+// are mask-bit bookkeeping, a mask multicast, a NODE-typed holder
+// test/clear, and a global merge counter (a statistic outside the
+// checker's state), plus the delegated Stache routines.
+func (s *Support) EquivariantRoutines() []string {
+	return append(s.stache.EquivariantRoutines(),
+		"Merge", "RecordConsumer", "ClearConsumers", "PushUpdates", "HasHolder", "ClearHolder")
+}

@@ -36,6 +36,10 @@ func All() []Entry {
 		{Name: "stache", Config: cfg("stache", stache.Source, "Home_Idle")},
 		{Name: "stache-ft", Config: cfg("stache-ft", stache.FTSource, "Home_Idle")},
 		{Name: "stache-cas", Config: cfg("stache-cas", stache.CASSource, "Home_Idle")},
+		// Not buggy — it verifies — but deliberately NOT node-symmetric:
+		// the negative fixture for the model checker's certificate-gated
+		// symmetry reduction (see internal/analysis.ProveSymmetry).
+		{Name: "stache-asym", Config: cfg("stache-asym", stache.AsymSource, "Home_Idle")},
 		{Name: "stache-buggy", Config: cfg("stache-buggy", stache.BuggySource, "Home_Idle"), Buggy: true},
 		{Name: "stache-ft-buggy", Config: cfg("stache-ft-buggy", stache.FTBuggySource, "Home_Idle"), Buggy: true},
 		{Name: "lcm", Config: cfg("lcm", lcm.Source(lcm.Base), "Home_Idle")},

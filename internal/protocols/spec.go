@@ -47,6 +47,11 @@ func Spec(name string, nodes, blocks int) (core.RunSpec, error) {
 		spec.Proto = a.Protocol
 		spec.Support = stache.MustFTSupport(a.Protocol, nodes)
 		spec.Events = stache.NewEvents(a.Protocol)
+	case "stache-asym":
+		a := stache.MustCompileAsym(true)
+		spec.Proto = a.Protocol
+		spec.Support = stache.MustSupport(a.Protocol)
+		spec.Events = stache.NewEvents(a.Protocol)
 	case "bufwrite":
 		a := bufwrite.MustCompile(true)
 		spec.Proto = a.Protocol
@@ -70,7 +75,7 @@ func Spec(name string, nodes, blocks int) (core.RunSpec, error) {
 		spec.Support = update.MustSupport(a.Protocol)
 		spec.Events = update.NewEvents(a.Protocol)
 	default:
-		return spec, fmt.Errorf("no runnable spec for protocol %q (try: stache, stache-ft, stache-buggy, stache-ft-buggy, bufwrite, lcm, lcm-mcc, update)", name)
+		return spec, fmt.Errorf("no runnable spec for protocol %q (try: stache, stache-ft, stache-buggy, stache-ft-buggy, stache-asym, bufwrite, lcm, lcm-mcc, update)", name)
 	}
 	return spec, nil
 }

@@ -1,0 +1,66 @@
+package stache
+
+import (
+	"strings"
+
+	"teapot/internal/core"
+)
+
+// Deliberately asymmetric Stache: the invalidation handler in Cache_RO
+// branches on the ORDER of two node ids (src < MyNode()). Both arms are
+// behaviorally identical, so the protocol still verifies — but ordering
+// node identities is exactly what the static symmetry prover must refute
+// (internal/analysis.ProveSymmetry emits an OpBin '<' witness), and the
+// model checker must therefore refuse to enable symmetry reduction for
+// it. Shipped as the negative fixture for the certificate gate: a checker
+// that reduced this protocol anyway would be trusting a heuristic, not a
+// proof.
+const asymTarget = `  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+    SetState(info, Cache_Inv{});
+    AccessChange(id, Blk_Invalidate);
+  end;
+
+  -- Voluntary eviction of a clean read-only copy`
+
+const asymReplacement = `  message PUT_NO_DATA_REQ (id : ID; var info : INFO; src : NODE)
+  begin
+    -- Asymmetric on purpose: node ids are ordered. The arms are
+    -- identical, so behavior is unchanged — only the symmetry proof
+    -- breaks.
+    if (src < MyNode()) then
+      Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+      SetState(info, Cache_Inv{});
+      AccessChange(id, Blk_Invalidate);
+    else
+      Send(HomeNode(id), PUT_NO_DATA_RESP, id);
+      SetState(info, Cache_Inv{});
+      AccessChange(id, Blk_Invalidate);
+    endif;
+  end;
+
+  -- Voluntary eviction of a clean read-only copy`
+
+// AsymSource is the asymmetric Stache protocol text.
+var AsymSource = func() string {
+	out := strings.Replace(Source, asymTarget, asymReplacement, 1)
+	if out == Source {
+		panic("stache-asym: handler marker not found")
+	}
+	return out
+}()
+
+// CompileAsym compiles the asymmetric variant.
+func CompileAsym(optimize bool) (*core.Artifacts, error) {
+	return compileSource("stache-asym.tea", AsymSource, optimize)
+}
+
+// MustCompileAsym panics on compile errors (the embedded source is tested).
+func MustCompileAsym(optimize bool) *core.Artifacts {
+	a, err := CompileAsym(optimize)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

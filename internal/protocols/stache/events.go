@@ -100,3 +100,7 @@ func CompileBuggy() (*runtime.Protocol, error) {
 	}
 	return a.Protocol, nil
 }
+
+// SymmetricEvents implements mc.EquivariantEvents: enablement depends only
+// on state names, stall status, and home-ness — all permutation-covariant.
+func (e *Events) SymmetricEvents() {}

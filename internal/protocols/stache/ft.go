@@ -712,3 +712,14 @@ func (s *FTSupport) Call(ctx *runtime.Ctx, name string, args []*vm.Value) (vm.Va
 	}
 	return s.Support.Call(ctx, name, args)
 }
+
+// NodeMaskSlots implements runtime.SymmetryDecl: both 'sharers' and the
+// fault-tolerant 'awaiting' set are node bitmasks.
+func (s *FTSupport) NodeMaskSlots() []int { return []int{s.Support.sharersSlot, s.awaitingSlot} }
+
+// EquivariantRoutines implements runtime.SymmetryDecl: the base Stache
+// routines plus the retransmission pair, which read/clear the awaiting
+// mask and re-multicast to its members.
+func (s *FTSupport) EquivariantRoutines() []string {
+	return append(s.Support.EquivariantRoutines(), "TakeAwaiting", "ResendInvalidates")
+}

@@ -125,3 +125,15 @@ func (s *Support) Call(ctx *runtime.Ctx, name string, args []*vm.Value) (vm.Valu
 func (s *Support) ModConst(ctx *runtime.Ctx, name string) vm.Value {
 	return vm.Value{}
 }
+
+// NodeMaskSlots implements runtime.SymmetryDecl: 'sharers' is a node
+// bitmask (bit n ↦ node n) and must be re-indexed under node permutation.
+func (s *Support) NodeMaskSlots() []int { return []int{s.sharersSlot} }
+
+// EquivariantRoutines implements runtime.SymmetryDecl. Every routine
+// either tests/sets the argument node's bit in the sharer mask or
+// multicasts to the mask's members — effects that commute with node and
+// block permutation once the mask is re-indexed.
+func (s *Support) EquivariantRoutines() []string {
+	return []string{"AddSharer", "RemoveSharer", "ClearSharers", "IsSharer", "NumSharers", "InvalidateSharers"}
+}

@@ -429,3 +429,18 @@ func (g *Events) Enabled(w *mc.World, node, block int) []mc.Event {
 	}
 	return nil
 }
+
+// NodeMaskSlots implements runtime.SymmetryDecl: 'sharers' is a node
+// bitmask.
+func (s *Support) NodeMaskSlots() []int { return []int{s.sharersSlot} }
+
+// EquivariantRoutines implements runtime.SymmetryDecl: bit tests/sets on
+// the sharer mask and a multicast to its members, all
+// permutation-equivariant once the mask is re-indexed.
+func (s *Support) EquivariantRoutines() []string {
+	return []string{"AddSharer", "RemoveSharer", "IsSharer", "NumSharers", "SendUpdates"}
+}
+
+// SymmetricEvents implements mc.EquivariantEvents: enablement reads state
+// names and sharer counts only, never concrete node ids.
+func (e *Events) SymmetricEvents() {}

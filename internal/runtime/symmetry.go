@@ -1,0 +1,28 @@
+package runtime
+
+// SymmetryDecl is implemented by Support modules that vouch for the
+// node/block-permutation equivariance of their routines. The static
+// symmetry prover (internal/analysis.ProveSymmetry) proves handler IR
+// equivariant but cannot see through support calls; it emits each called
+// routine as a proof obligation, and the model checker enables symmetry
+// reduction only when every obligation appears in EquivariantRoutines().
+//
+// A routine is equivariant when permuting node ids (π) and block ids (σ)
+// in its arguments and in the protocol variables it reads yields the
+// π/σ-image of its original effects: the same sends to π-mapped
+// destinations, the same variable updates with node bitmasks re-indexed
+// by π. Integer-typed protocol variables that encode node bitmasks (bit n
+// ↦ node n) must be listed in NodeMaskSlots so the checker's
+// canonicalization re-indexes them; every other variable is permuted by
+// its value kind alone.
+//
+// The declaration is a vouch, not a proof: it shifts trust from a checker
+// heuristic to the support author, mirroring how the paper's protocols
+// trust their hand-written support modules for functional correctness.
+type SymmetryDecl interface {
+	// NodeMaskSlots lists protocol-variable slots holding node bitmasks.
+	NodeMaskSlots() []int
+	// EquivariantRoutines lists routine names (as called from protocol
+	// text) whose behavior commutes with node/block permutation.
+	EquivariantRoutines() []string
+}

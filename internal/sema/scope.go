@@ -254,8 +254,13 @@ func (sc *handlerScope) binary(e *ast.BinExpr) Type {
 		}
 		return Bool
 	case token.LT, token.LE, token.GT, token.GE:
-		if !bad && (!xt.Same(Int) || !yt.Same(Int)) {
-			c.errorf(e.OpPos, "ordering requires int operands, got %s and %s", xt, yt)
+		// Ints order naturally; NODE/NODE and ID/ID order by identity (the
+		// symmetry prover refutes equivariance for protocols that do this,
+		// so the model checker's scalarset reduction stays sound).
+		ordered := (xt.Same(Int) && yt.Same(Int)) ||
+			(xt.Same(yt) && (xt.Kind == TNode || xt.Kind == TID))
+		if !bad && !ordered {
+			c.errorf(e.OpPos, "ordering requires int operands (or two NODEs, or two IDs), got %s and %s", xt, yt)
 		}
 		return Bool
 	case token.AND, token.KWAND, token.OR, token.KWOR:

@@ -79,3 +79,29 @@ fi
 # checker's counterexamples must replay step-for-step through the runtime
 # engine harness, and the checker must confirm the fuzz-found bug.
 go test -race -count=1 -run 'TestDiffReplayCounterexamples|TestConfirmMCAgreesWithFuzz' ./internal/fuzz/
+# Symmetry: the static certificate sweep must hold for every bundled
+# symmetric protocol (teapot-vet -json embeds the certificate; the python
+# one-liner asserts node+block equivariance everywhere except the
+# deliberately asymmetric fixture), the asymmetric fixture must be refused
+# under -symmetry=on (exit 1 with a witness), reduction must not change
+# any verdict (the reduced-vs-unreduced equivalence suite under the race
+# detector), and a reduced run must actually reduce.
+go run ./cmd/teapot-vet -json stache stache-cas stache-ft lcm lcm-mcc bufwrite update \
+  | python3 -c 'import json,sys
+reports = json.load(sys.stdin)
+for r in reports:
+    s = r["symmetry"]
+    assert s["node"]["equivariant"] and s["block"]["equivariant"], r["protocol"]
+print(f"symmetry certificates hold for {len(reports)} protocols")'
+rc=0
+"$verifybin" -proto stache-asym -symmetry=on >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "check.sh: stache-asym -symmetry=on should be refused (exit 1), got $rc" >&2
+  exit 1
+fi
+go test -race -count=1 -short -run 'TestSymmetryEquivalence|TestCanonicalFixpoint|TestSymmetryGate' ./internal/mc/
+symline="$("$verifybin" -proto stache -nodes 3 -symmetry=on)"
+case "$symline" in
+  *"symmetry /2"*) ;;
+  *) echo "check.sh: expected 'symmetry /2' in: $symline" >&2; exit 1 ;;
+esac
