@@ -69,8 +69,13 @@ func main() {
 			check(err)
 			fmt.Print(bench.FormatSymmetry(symRows))
 			fmt.Println()
+			covRows, err := bench.CoverageBench(8, 3, *workers)
+			check(err)
+			fmt.Print(bench.FormatCoverage(covRows))
+			fmt.Println()
 			data, err := json.MarshalIndent(bench.MCBaseline{
-				MC: mcRows, Obs: obsRows, Faults: faultRows, Symmetry: symRows}, "", "  ")
+				MC: mcRows, Obs: obsRows, Faults: faultRows, Symmetry: symRows,
+				Coverage: covRows}, "", "  ")
 			check(err)
 			check(os.WriteFile(*mcOut, append(data, '\n'), 0o644))
 			fmt.Printf("checker throughput + obs baseline written to %s (workers %v)\n\n", *mcOut, counts)

@@ -1,0 +1,187 @@
+// Teapot-cover compares coverage between run manifests (the -report
+// artifacts of teapot-verify, teapot-sim, and teapot-fuzz) and
+// cross-checks dynamic coverage against static reachability.
+//
+// Usage:
+//
+//	teapot-cover mc.json fuzz.json        # diff: what did fuzz miss vs mc?
+//	teapot-cover -static mc.json          # dynamic vs static dispatch universe
+//	teapot-cover -static mc.json -allow Home_Idle.NACK
+//
+// Diff mode treats the first manifest as the reference (typically an
+// exhaustive teapot-verify run — 100% of what the fault budget reaches) and
+// names every (state, message) pair, transition, and fault action the
+// second run missed, by exact key. Informational; always exits 0.
+//
+// Static mode compiles the manifest's protocol and compares its observed
+// dispatch set against internal/analysis reachability: a statically
+// reachable handler that even this run never entered is a finding (exit 2)
+// unless listed in -allow. On an exhaustive checker manifest this is the
+// single-source property made measurable — one protocol text, and the
+// static and dynamic views of its surface must agree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"teapot/internal/analysis"
+	"teapot/internal/manifest"
+	"teapot/internal/protocols"
+)
+
+func main() {
+	var (
+		static = flag.Bool("static", false, "cross-check one manifest's dispatch coverage against static reachability (exit 2 on undocumented gaps)")
+		allow  = flag.String("allow", "", "comma-separated dispatch pairs (State.MESSAGE) excused from the -static check, each with a known reason")
+	)
+	flag.Parse()
+
+	if *static {
+		if flag.NArg() != 1 {
+			usage("-static wants exactly one manifest")
+		}
+		os.Exit(staticCheck(flag.Arg(0), *allow))
+	}
+	if flag.NArg() != 2 {
+		usage("want two manifests to diff (or -static with one)")
+	}
+	diff(flag.Arg(0), flag.Arg(1))
+}
+
+func usage(msg string) {
+	fmt.Fprintf(os.Stderr, "teapot-cover: %s\nusage: teapot-cover ref.json other.json | teapot-cover -static run.json [-allow pairs]\n", msg)
+	os.Exit(1)
+}
+
+// diff prints what other missed relative to ref (and the reverse, since a
+// fuzz run can wander where a budgeted checker cannot).
+func diff(refPath, otherPath string) {
+	ref, other := load(refPath), load(otherPath)
+	if ref.Protocol != other.Protocol {
+		fmt.Fprintf(os.Stderr, "teapot-cover: warning: comparing different protocols (%s vs %s)\n", ref.Protocol, other.Protocol)
+	}
+	fmt.Printf("ref:   %s (%s, %d dispatch pairs)\n", refPath, ref.Shape(), covLen(ref))
+	fmt.Printf("other: %s (%s, %d dispatch pairs)\n", otherPath, other.Shape(), covLen(other))
+	total := 0
+	total += section("dispatch pairs missed by other", missing(ref, other, dispatchOf))
+	total += section("dispatch pairs only in other", missing(other, ref, dispatchOf))
+	total += section("transitions missed by other", missing(ref, other, transOf))
+	total += section("transitions only in other", missing(other, ref, transOf))
+	total += section("fault actions missed by other", missing(ref, other, faultsOf))
+	total += section("fault actions only in other", missing(other, ref, faultsOf))
+	if total == 0 {
+		fmt.Println("coverage identical: both runs exercised the same protocol surface")
+	}
+}
+
+func load(path string) *manifest.Manifest {
+	m, err := manifest.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teapot-cover:", err)
+		os.Exit(1)
+	}
+	return m
+}
+
+func covLen(m *manifest.Manifest) int {
+	if m.Coverage == nil {
+		return 0
+	}
+	return len(m.Coverage.Dispatch)
+}
+
+func dispatchOf(m *manifest.Manifest) map[string]uint64 {
+	if m.Coverage == nil {
+		return nil
+	}
+	return m.Coverage.Dispatch
+}
+
+func transOf(m *manifest.Manifest) map[string]uint64 {
+	if m.Coverage == nil {
+		return nil
+	}
+	return m.Coverage.Transitions
+}
+
+func faultsOf(m *manifest.Manifest) map[string]uint64 {
+	if m.Coverage == nil {
+		return nil
+	}
+	return m.Coverage.Faults
+}
+
+func missing(ref, other *manifest.Manifest, sel func(*manifest.Manifest) map[string]uint64) []string {
+	return manifest.MissingKeys(sel(ref), sel(other))
+}
+
+func section(title string, keys []string) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	fmt.Printf("%s (%d):\n", title, len(keys))
+	for _, k := range keys {
+		fmt.Printf("  %s\n", k)
+	}
+	return len(keys)
+}
+
+// staticCheck compares a manifest's observed dispatch set against the
+// compiled protocol's statically reachable dispatch universe.
+func staticCheck(path, allow string) int {
+	m := load(path)
+	if m.Coverage == nil {
+		fmt.Fprintln(os.Stderr, "teapot-cover: manifest carries no coverage block")
+		return 1
+	}
+	spec, err := protocols.Spec(m.Protocol, m.Nodes, m.Blocks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teapot-cover:", err)
+		return 1
+	}
+	allowed := map[string]bool{}
+	for _, p := range strings.Split(allow, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			allowed[p] = true
+		}
+	}
+	expected := analysis.ExpectedDispatch(spec.Proto)
+	gaps := analysis.CoverageGaps(spec.Proto, m.Coverage.Dispatch)
+	fmt.Printf("%s: %d/%d statically reachable dispatch pairs covered\n",
+		m.Shape(), len(expected)-len(gaps), len(expected))
+	var bad []string
+	for _, g := range gaps {
+		if allowed[g] {
+			fmt.Printf("  allowed gap: %s\n", g)
+		} else {
+			bad = append(bad, g)
+		}
+	}
+	// The observed-but-not-expected direction is informational: DEFAULT
+	// dispatches (defer/nack/drop policies) enter handlers the static
+	// explicit-handler universe deliberately excludes.
+	extra := manifest.MissingKeys(m.Coverage.Dispatch, toSet(expected))
+	if len(extra) > 0 {
+		fmt.Printf("  observed beyond the explicit-handler universe (DEFAULT dispatches): %d\n", len(extra))
+	}
+	if len(bad) > 0 {
+		fmt.Printf("UNCOVERED: %d statically reachable pair(s) this run never dispatched:\n", len(bad))
+		for _, g := range bad {
+			fmt.Printf("  %s\n", g)
+		}
+		return 2
+	}
+	fmt.Println("static dispatch universe saturated (modulo allowed gaps)")
+	return 0
+}
+
+func toSet(keys []string) map[string]uint64 {
+	out := make(map[string]uint64, len(keys))
+	for _, k := range keys {
+		out[k] = 1
+	}
+	return out
+}

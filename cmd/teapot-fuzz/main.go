@@ -22,6 +22,9 @@ import (
 
 	"teapot/internal/cliflags"
 	"teapot/internal/fuzz"
+	"teapot/internal/manifest"
+	"teapot/internal/obs"
+	"teapot/internal/runtime"
 )
 
 func main() {
@@ -35,6 +38,7 @@ func main() {
 		noShrink  = flag.Bool("no-shrink", false, "keep the first failing schedule as-is instead of delta-debugging it")
 		mcConfirm = flag.Bool("mc-confirm", false, "after a failure, cross-check with the model checker and differentially replay its counterexample")
 		mcStates  = flag.Int("mc-states", 5_000_000, "state budget for -mc-confirm (0 = unlimited)")
+		report    = cliflags.AddReport(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -42,10 +46,14 @@ func main() {
 		os.Exit(replayFile(*replay))
 	}
 
+	var cov *obs.Coverage
+	if *report != "" {
+		cov = obs.NewCoverage()
+	}
 	f, err := fuzz.New(fuzz.Config{
 		Proto: *run.Proto, Nodes: *run.Nodes, Blocks: *run.Blocks,
 		Net: run.Net.Model, Schedules: *schedules, OpsPerNode: *ops,
-		Seed: *run.Seed, Rate: *rate,
+		Seed: *run.Seed, Rate: *rate, Coverage: cov,
 	})
 	if err != nil {
 		fatal(err)
@@ -63,6 +71,10 @@ func main() {
 
 	if res.Failure == nil {
 		fmt.Println("no violations: every schedule ran to completion coherently")
+		if *report != "" {
+			writeManifest(*report, f, *run.Proto, *run.Nodes, *run.Blocks,
+				cov, res, elapsed, "", 0, nil)
+		}
 		return
 	}
 
@@ -83,6 +95,21 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("reproducer written to %s (replay with: teapot-fuzz -replay %s)\n", path, path)
+
+	if *report != "" {
+		// Replay the minimal reproducer with a flight recorder teed in, so
+		// the manifest (and stderr) carry the event tail leading into the
+		// violation.
+		fr := obs.NewFlightRecorder(0)
+		f.ReplayObserved(sched, fr)
+		frLines := fr.TailLines(0, runtime.ObsNames(f.Spec().Proto))
+		fmt.Fprintln(os.Stderr, "flight recorder (failing schedule tail):")
+		for _, l := range frLines {
+			fmt.Fprintln(os.Stderr, "  "+l)
+		}
+		writeManifest(*report, f, *run.Proto, *run.Nodes, *run.Blocks,
+			cov, res, elapsed, verdict(res.Failure.Report), len(sched.Decisions), frLines)
+	}
 
 	// Re-judge from the on-disk artifact: the reproducer must carry
 	// everything needed to fail again, independent of this process.
@@ -116,6 +143,38 @@ func main() {
 		}
 	}
 	os.Exit(2)
+}
+
+// writeManifest assembles and writes the campaign's run manifest.
+func writeManifest(path string, f *fuzz.Fuzzer, proto string, nodes, blocks int,
+	cov *obs.Coverage, res *fuzz.Result, elapsed time.Duration,
+	verdictStr string, shrunk int, frLines []string) {
+	fs := &manifest.FuzzStats{
+		Schedules:       res.Ran,
+		ChoicePoints:    res.Steps,
+		ElapsedSec:      elapsed.Seconds(),
+		Failed:          res.Failure != nil,
+		Verdict:         verdictStr,
+		ShrunkDecisions: shrunk,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		fs.SchedPerSec = float64(res.Ran) / s
+	}
+	man := &manifest.Manifest{
+		ManifestVersion: manifest.Version,
+		Tool:            "teapot-fuzz",
+		Protocol:        proto,
+		Nodes:           nodes,
+		Blocks:          blocks,
+		Net:             f.Spec().Net.String(),
+		Seed:            f.Seed(),
+		Coverage:        cov.Report(runtime.ObsNames(f.Spec().Proto)),
+		Fuzz:            fs,
+		FlightRecorder:  frLines,
+	}
+	if err := manifest.Write(path, man); err != nil {
+		fatal(err)
+	}
 }
 
 // replayFile re-judges a saved schedule. Exit code mirrors the campaign

@@ -11,9 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"teapot/internal/cliflags"
 	"teapot/internal/core"
+	"teapot/internal/manifest"
 	"teapot/internal/obs"
 	"teapot/internal/protocols/lcm"
 	"teapot/internal/protocols/stache"
@@ -31,6 +33,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (open in about:tracing or ui.perfetto.dev)")
 		showStats = flag.Bool("stats", false, "print the observability event summary after the run")
 		seed      = flag.Uint64("seed", 1, "fault-injection RNG seed (same -net and -seed: same run; 0 = derive a stable seed from the run shape, as in every other tool)")
+		report    = cliflags.AddReport(flag.CommandLine)
 		net       = cliflags.AddNet(flag.CommandLine)
 	)
 	flag.Parse()
@@ -101,22 +104,66 @@ func main() {
 	}
 
 	var col *obs.Collector
-	if *traceOut != "" || *showStats {
+	var cov *obs.Coverage
+	if *traceOut != "" || *showStats || *report != "" {
 		if *engine == "hw" {
-			fatal(fmt.Errorf("-trace/-stats need a Teapot engine (hand-written baselines emit no events); use -engine opt or unopt"))
+			fatal(fmt.Errorf("-trace/-stats/-report need a Teapot engine (hand-written baselines emit no events); use -engine opt or unopt"))
 		}
 		col = obs.NewCollector(0)
 	}
+	if *report != "" {
+		cov = obs.NewCoverage()
+	}
 
+	start := time.Now()
 	stats, err := sim.Run(sim.Config{
 		Nodes: *nodes, Blocks: w.Blocks,
 		Cost: tempest.DefaultCost, Tags: tags,
 		MakeEngine: mk, Program: w.Trace,
-		Obs: sinkOrNil(col),
+		Obs: runSinks(col, cov),
 		Net: net.Model, Seed: *seed,
 	})
+	elapsed := time.Since(start)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *report != "" {
+		protoName := "stache"
+		switch {
+		case *engine == "ft":
+			protoName = "stache-ft"
+		case isLCM:
+			protoName = "lcm"
+		}
+		ss := &manifest.SimStats{
+			Cycles: stats.Cycles, Events: col.Total(),
+			ElapsedSec: elapsed.Seconds(),
+			Accesses:   stats.Accesses, Faults: stats.Faults,
+			Messages: stats.Messages, Drops: stats.Drops,
+			Dups: stats.Dups, Delays: stats.Delays, Timeouts: stats.Timeouts,
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			ss.EventsPerSec = float64(col.Total()) / s
+		}
+		man := &manifest.Manifest{
+			ManifestVersion: manifest.Version,
+			Tool:            "teapot-sim",
+			Protocol:        protoName,
+			Nodes:           *nodes,
+			Blocks:          w.Blocks,
+			Net:             net.Model.String(),
+			Seed:            *seed,
+			Coverage:        cov.Report(runtime.ObsNames(proto)),
+			Obs: &manifest.ObsSummary{
+				Events: col.Total(), ByKind: col.KindCounts(),
+				MaxQueueDepth: col.MaxQueueDepth(),
+			},
+			Sim: ss,
+		}
+		if err := manifest.Write(*report, man); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *traceOut != "" {
@@ -150,13 +197,21 @@ func main() {
 	}
 }
 
-// sinkOrNil avoids the classic non-nil interface holding a nil pointer:
-// sim.Run checks Obs against nil.
-func sinkOrNil(c *obs.Collector) obs.Sink {
-	if c == nil {
-		return nil
+// runSinks tees the optional collector and coverage sinks, avoiding the
+// classic non-nil interface holding a nil pointer: sim.Run checks Obs
+// against nil.
+func runSinks(c *obs.Collector, cov *obs.Coverage) obs.Sink {
+	var sinks []obs.Sink
+	if c != nil {
+		sinks = append(sinks, c)
 	}
-	return c
+	if cov != nil {
+		sinks = append(sinks, cov)
+	}
+	if t := obs.NewTee(sinks...); t != nil {
+		return t
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -17,7 +17,10 @@ import (
 	"runtime/pprof"
 
 	"teapot/internal/cliflags"
+	"teapot/internal/manifest"
 	"teapot/internal/mc"
+	"teapot/internal/obs"
+	"teapot/internal/runtime"
 )
 
 func main() {
@@ -27,6 +30,8 @@ func main() {
 		symmetry = flag.String("symmetry", "auto", "symmetry reduction: auto (reduce when the static certificate and support vouches allow) | off | on (fail unless reduction is possible)")
 		progress = flag.String("progress", "auto", "live per-layer progress on stderr: auto (only when stderr is a terminal) | always | never")
 		stats    = flag.Bool("stats", false, "print a final exploration stats block")
+		jsonOut  = flag.Bool("json", false, "write the run manifest as JSON to stdout instead of the plain-text report")
+		report   = cliflags.AddReport(flag.CommandLine)
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 
@@ -68,6 +73,22 @@ func main() {
 		spec.Progress = pw.Report
 	}
 
+	// Manifest plumbing: accumulate coverage during exploration and keep the
+	// final progress snapshot (the only carrier of shard balance).
+	wantManifest := *jsonOut || *report != ""
+	var cov *obs.Coverage
+	var lastProg mc.ProgressInfo
+	if wantManifest {
+		cov = obs.NewCoverage()
+		prev := spec.Progress
+		spec.Progress = func(p mc.ProgressInfo) {
+			lastProg = p
+			if prev != nil {
+				prev(p)
+			}
+		}
+	}
+
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -80,7 +101,9 @@ func main() {
 		}
 	}
 
-	res, err := mc.Check(spec.MCConfig())
+	cfg := spec.MCConfig()
+	cfg.Coverage = cov
+	res, err := mc.Check(cfg)
 	if *cpuProf != "" {
 		// Stopped explicitly: the violation path exits with a nonzero
 		// status, which would skip a deferred stop.
@@ -102,6 +125,54 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
+	}
+
+	if wantManifest {
+		man := &manifest.Manifest{
+			ManifestVersion: manifest.Version,
+			Tool:            "teapot-verify",
+			Protocol:        *run.Proto,
+			Nodes:           *run.Nodes,
+			Blocks:          *run.Blocks,
+			Net:             spec.Net.String(),
+			Coverage:        cov.Report(runtime.ObsNames(spec.Proto)),
+			MC:              mcStats(res, lastProg),
+		}
+		if res.Violation != nil && len(res.Violation.Steps) > 0 {
+			// Replay the counterexample with a flight recorder attached so
+			// the manifest (and stderr) carry the event tail leading into
+			// the violation.
+			fr := obs.NewFlightRecorder(0)
+			rcfg := spec.MCConfig()
+			rcfg.Obs = fr
+			if rerr := mc.ReplaySteps(rcfg, res.Violation.Steps, nil); rerr != nil {
+				fmt.Fprintln(os.Stderr, "teapot-verify: flight-recorder replay:", rerr)
+			} else {
+				man.FlightRecorder = fr.TailLines(0, runtime.ObsNames(spec.Proto))
+				fmt.Fprintln(os.Stderr, "flight recorder (counterexample tail):")
+				for _, l := range man.FlightRecorder {
+					fmt.Fprintln(os.Stderr, "  "+l)
+				}
+			}
+		}
+		if *report != "" {
+			if err := manifest.Write(*report, man); err != nil {
+				fmt.Fprintln(os.Stderr, "teapot-verify:", err)
+				os.Exit(1)
+			}
+		}
+		if *jsonOut {
+			data, err := man.Encode()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "teapot-verify:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(data)
+			if res.Violation != nil {
+				os.Exit(2)
+			}
+			return
+		}
 	}
 
 	net := ""
@@ -139,6 +210,49 @@ func main() {
 	}
 	fmt.Printf("VIOLATION %s\n", res.Violation)
 	os.Exit(2)
+}
+
+// mcStats lowers a checker result (plus the final progress snapshot, the
+// only carrier of shard balance) into manifest form.
+func mcStats(res *mc.Result, last mc.ProgressInfo) *manifest.MCStats {
+	st := &manifest.MCStats{
+		States:        res.States,
+		Transitions:   res.Transitions,
+		MaxDepth:      res.MaxDepth,
+		Workers:       res.Workers,
+		ElapsedSec:    res.Elapsed.Seconds(),
+		PeakFrontier:  res.PeakFrontier,
+		Decodes:       res.Decodes,
+		VisitedBytes:  res.VisitedBytes,
+		ShardMin:      last.ShardMin,
+		ShardMax:      last.ShardMax,
+		SymmetryGroup: res.SymmetryGroup,
+		SymmetryNote:  res.SymmetryNote,
+		Violation:     manifestViolation(res.Violation),
+	}
+	if s := res.Elapsed.Seconds(); s > 0 {
+		st.StatesPerSec = float64(res.States) / s
+	}
+	if res.States > 0 {
+		st.BytesPerState = float64(res.VisitedBytes) / float64(res.States)
+		st.DedupRatio = float64(res.Transitions) / float64(res.States)
+	}
+	return st
+}
+
+// manifestViolation converts a checker counterexample into manifest form.
+func manifestViolation(v *mc.Violation) *manifest.Violation {
+	if v == nil {
+		return nil
+	}
+	mv := &manifest.Violation{Kind: v.Kind, Msg: v.Msg, Trace: v.Trace}
+	for _, s := range v.Steps {
+		mv.Steps = append(mv.Steps, manifest.Step{
+			Kind: s.Kind, From: s.From, To: s.To, Idx: s.Idx,
+			Node: s.Node, Block: s.Block, Event: s.Event, Msg: s.Msg,
+		})
+	}
+	return mv
 }
 
 // stderrIsTerminal reports whether stderr is attached to a character

@@ -3,6 +3,7 @@
 package teapot_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -205,5 +206,78 @@ func TestExamplesRun(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("%s output missing %q", dir, want)
 		}
+	}
+}
+
+// TestVerifyJSONManifest: `teapot-verify -json` must write a valid,
+// machine-readable run manifest to stdout — the golden schema the
+// coverage tooling (teapot-cover, check.sh) keys on.
+func TestVerifyJSONManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	out, err := runTool(t, "./cmd/teapot-verify", "-proto", "stache", "-reorder", "1", "-json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("stdout is not a JSON manifest: %v\n%s", err, out)
+	}
+	for _, key := range []string{"manifest_version", "tool", "protocol", "nodes", "blocks", "coverage", "mc"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("manifest missing key %q", key)
+		}
+	}
+	var mc struct {
+		States        int     `json:"states"`
+		Transitions   int     `json:"transitions"`
+		StatesPerSec  float64 `json:"states_per_sec"`
+		PeakFrontier  int     `json:"peak_frontier"`
+		SymmetryGroup int     `json:"symmetry_group"`
+	}
+	if err := json.Unmarshal(m["mc"], &mc); err != nil {
+		t.Fatal(err)
+	}
+	if mc.States == 0 || mc.Transitions == 0 || mc.PeakFrontier == 0 {
+		t.Errorf("mc stats not populated: %+v", mc)
+	}
+	var cov struct {
+		Dispatch map[string]uint64 `json:"dispatch"`
+	}
+	if err := json.Unmarshal(m["coverage"], &cov); err != nil {
+		t.Fatal(err)
+	}
+	if cov.Dispatch["Home_Idle.GET_RO_REQ"] == 0 {
+		t.Errorf("coverage lacks the always-exercised pair: %v", cov.Dispatch)
+	}
+
+	// A violating run still emits the manifest (with the counterexample and
+	// flight-recorder tail inside) and exits 2. Stdout alone must be the
+	// manifest — the flight-recorder dump goes to stderr.
+	cmd := exec.Command("go", "run", "./cmd/teapot-verify", "-proto", "stache", "-net", "drop=1", "-json")
+	cmd.Env = os.Environ()
+	stdout, err := cmd.Output()
+	if err == nil {
+		t.Fatalf("violating -json run should exit non-zero:\n%s", stdout)
+	}
+	var man map[string]json.RawMessage
+	if err := json.Unmarshal(stdout, &man); err != nil {
+		t.Fatalf("stdout of a violating run is not a manifest: %v\n%s", err, stdout)
+	}
+	var stats struct {
+		Violation *struct {
+			Kind  string            `json:"kind"`
+			Steps []json.RawMessage `json:"steps"`
+		} `json:"violation"`
+	}
+	if err := json.Unmarshal(man["mc"], &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Violation == nil || stats.Violation.Kind == "" || len(stats.Violation.Steps) == 0 {
+		t.Errorf("violating manifest lacks a counterexample: %s", man["mc"])
+	}
+	if _, ok := man["flight_recorder"]; !ok {
+		t.Error("violating manifest lacks the flight-recorder tail")
 	}
 }

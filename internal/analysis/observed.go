@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"sort"
+
+	"teapot/internal/runtime"
+)
+
+// Static side of the coverage cross-check: the dispatch universe a compiled
+// protocol can plausibly exercise, keyed exactly like the dynamic coverage
+// plane (internal/obs.Coverage, "State.MESSAGE"). An exhaustive model-check
+// run is the 100% dynamic reference; any pair in ExpectedDispatch that even
+// exhaustive exploration never entered is a finding — either the handler is
+// dead for this geometry and fault budget (document it) or the static
+// reachability over-approximates (tighten it).
+
+// ExpectedDispatch returns the statically-reachable dispatch pairs: every
+// (state, message) with a dedicated handler, for states reachable from the
+// configured start states, rendered "State.MESSAGE" and sorted. Pairs a
+// DEFAULT handler absorbs are excluded — defer/nack/drop policies are
+// policy, not protocol surface, and the dynamic plane tracks deferred pairs
+// separately.
+func ExpectedDispatch(p *runtime.Protocol) []string {
+	f := computeFacts(p)
+	sp := p.IR.Sema
+	var out []string
+	for si := range sp.States {
+		if !f.reach[si] {
+			continue
+		}
+		for mi := range sp.Messages {
+			if f.policies[si][mi] == polExplicit {
+				out = append(out, sp.States[si].Name+"."+sp.Messages[mi].Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoverageGaps returns the expected dispatch pairs absent from an observed
+// coverage set (a manifest's coverage.dispatch block), sorted. Empty means
+// the run's dynamic coverage saturates the static universe.
+func CoverageGaps(p *runtime.Protocol, covered map[string]uint64) []string {
+	var out []string
+	for _, pair := range ExpectedDispatch(p) {
+		if _, ok := covered[pair]; !ok {
+			out = append(out, pair)
+		}
+	}
+	return out
+}

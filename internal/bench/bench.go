@@ -370,6 +370,7 @@ type MCBaseline struct {
 	Obs      []ObsRow      `json:"obs"`
 	Faults   []FaultRow    `json:"faults"`
 	Symmetry []SymmetryRow `json:"symmetry"`
+	Coverage []CoverageRow `json:"coverage,omitempty"`
 }
 
 // FaultRow is one fault-budget verification record in the `faults` series

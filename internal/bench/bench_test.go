@@ -174,3 +174,34 @@ func TestReorderSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestCoverageBench: the coverage-cost series must produce a row per
+// substrate shape, with a nonzero unit volume and a nonempty dispatch set
+// on every row — an empty covered run would make the committed overhead
+// numbers meaningless.
+func TestCoverageBench(t *testing.T) {
+	rows, err := bench.CoverageBench(8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sims, mcs int
+	for _, r := range rows {
+		switch r.Kind {
+		case "sim":
+			sims++
+		case "mc":
+			mcs++
+		default:
+			t.Errorf("unknown row kind %q", r.Kind)
+		}
+		if r.Units == 0 {
+			t.Errorf("%s %s: covered run processed no units", r.Kind, r.Name)
+		}
+		if r.DispatchPairs == 0 {
+			t.Errorf("%s %s: no dispatch coverage accumulated", r.Kind, r.Name)
+		}
+	}
+	if sims == 0 || mcs == 0 {
+		t.Errorf("want rows from both substrates, got %d sim / %d mc", sims, mcs)
+	}
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"teapot/internal/mc"
+	"teapot/internal/netmodel"
+	"teapot/internal/obs"
+	"teapot/internal/protocols/stache"
+	"teapot/internal/runtime"
+	"teapot/internal/sim"
+	"teapot/internal/tempest"
+)
+
+// CoverageRow is one record in the `coverage` series of BENCH_mc.json: the
+// same deterministic run timed with the coverage sink detached (the PR 3
+// fast path) and attached, so the cost of measuring dispatch coverage is a
+// committed number rather than folklore. Units is events for sim rows and
+// states for mc rows; both runs process the identical unit count.
+type CoverageRow struct {
+	Kind          string  `json:"kind"` // "sim" or "mc"
+	Name          string  `json:"name"`
+	Units         int64   `json:"units"`
+	WallMSOff     float64 `json:"wall_ms_off"`
+	WallMSOn      float64 `json:"wall_ms_on"`
+	PerSecOff     float64 `json:"per_sec_off"`
+	PerSecOn      float64 `json:"per_sec_on"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	DispatchPairs int     `json:"dispatch_pairs"`
+}
+
+func coverageRate(row *CoverageRow, offWall, onWall time.Duration) {
+	row.WallMSOff = float64(offWall) / float64(time.Millisecond)
+	row.WallMSOn = float64(onWall) / float64(time.Millisecond)
+	if s := offWall.Seconds(); s > 0 {
+		row.PerSecOff = float64(row.Units) / s
+	}
+	if s := onWall.Seconds(); s > 0 {
+		row.PerSecOn = float64(row.Units) / s
+	}
+	if offWall > 0 {
+		row.OverheadPct = 100 * float64(onWall-offWall) / float64(offWall)
+	}
+}
+
+// CoverageBench measures what coverage accounting costs on both substrates:
+// each Table 1 workload runs once bare and once under an obs.Coverage sink
+// (events/sec), and two checker shapes explore once with Config.Coverage
+// nil and once attached (states/sec). Event and state counts are taken from
+// the covered run; determinism (TestCoverageDoesNotPerturbExploration,
+// seeded workloads) guarantees the bare run processed the same volume.
+func CoverageBench(nodes, iters, workers int) ([]CoverageRow, error) {
+	var rows []CoverageRow
+
+	art := stache.MustCompile(true)
+	tags := tempest.ResolveTags(art.Protocol)
+	sup := stache.MustSupport(art.Protocol)
+	for _, w := range sim.Table1Workloads(nodes, iters) {
+		mk := func(m runtime.Machine) tempest.Engine {
+			return tempest.NewTeapotEngine(art.Protocol, nodes, w.Blocks, m, sup)
+		}
+		runSim := func(sink obs.Sink) (time.Duration, error) {
+			w.Trace.Reset()
+			start := time.Now()
+			_, err := sim.Run(sim.Config{
+				Nodes: nodes, Blocks: w.Blocks,
+				Cost: tempest.DefaultCost, Tags: tags,
+				MakeEngine: mk, Program: w.Trace, Obs: sink,
+			})
+			return time.Since(start), err
+		}
+		offWall, err := runSim(nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s/off: %w", w.Name, err)
+		}
+		cov := obs.NewCoverage()
+		col := obs.NewCollector(0)
+		onWall, err := runSim(obs.NewTee(col, cov))
+		if err != nil {
+			return nil, fmt.Errorf("%s/on: %w", w.Name, err)
+		}
+		row := CoverageRow{Kind: "sim", Name: w.Name,
+			Units: col.Total(), DispatchPairs: cov.DispatchPairs()}
+		coverageRate(&row, offWall, onWall)
+		rows = append(rows, row)
+	}
+
+	mcShapes := []struct {
+		name string
+		cfg  func() mc.Config
+	}{
+		{"Stache 2n/1b reorder=1", func() mc.Config {
+			a := stache.MustCompile(true)
+			return mc.Config{Proto: a.Protocol, Support: stache.MustSupport(a.Protocol),
+				Nodes: 2, Blocks: 1, Reorder: 1,
+				Events: stache.NewEvents(a.Protocol), CheckCoherence: true}
+		}},
+		{"Stache-FT 2n/1b drop=1", func() mc.Config {
+			a := stache.MustCompileFT(true)
+			return mc.Config{Proto: a.Protocol, Support: stache.MustFTSupport(a.Protocol, 2),
+				Nodes: 2, Blocks: 1, Net: netmodel.Model{MaxDrops: 1},
+				Events: stache.NewEvents(a.Protocol), CheckCoherence: true}
+		}},
+	}
+	for _, shape := range mcShapes {
+		runMC := func(cov *obs.Coverage) (*mc.Result, error) {
+			cfg := shape.cfg()
+			cfg.Workers = workers
+			cfg.Coverage = cov
+			return mc.Check(cfg)
+		}
+		off, err := runMC(nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s/off: %w", shape.name, err)
+		}
+		cov := obs.NewCoverage()
+		on, err := runMC(cov)
+		if err != nil {
+			return nil, fmt.Errorf("%s/on: %w", shape.name, err)
+		}
+		row := CoverageRow{Kind: "mc", Name: shape.name,
+			Units: int64(on.States), DispatchPairs: cov.DispatchPairs()}
+		coverageRate(&row, off.Elapsed, on.Elapsed)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatCoverage renders the coverage-cost series as a table.
+func FormatCoverage(rows []CoverageRow) string {
+	out := "Coverage accounting cost: same run, sink detached vs attached\n"
+	out += fmt.Sprintf("%-4s %-24s %10s %12s %12s %9s %6s\n",
+		"kind", "name", "units", "off/sec", "on/sec", "overhead", "pairs")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-4s %-24s %10d %12.0f %12.0f %8.1f%% %6d\n",
+			r.Kind, r.Name, r.Units, r.PerSecOff, r.PerSecOn, r.OverheadPct, r.DispatchPairs)
+	}
+	return out
+}

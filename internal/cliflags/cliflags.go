@@ -71,6 +71,16 @@ func AddRun(fs *flag.FlagSet, defProto string, defNodes, defBlocks int) *Run {
 	}
 }
 
+// AddReport registers the shared -report flag on fs: the path of the
+// versioned run manifest (coverage sets plus resource accounting, see
+// internal/manifest) the tool writes after the run; "" writes nothing.
+// Shared so "-report out.json" means the same artifact in teapot-verify,
+// teapot-sim, and teapot-fuzz — that is what makes manifests diffable with
+// teapot-cover.
+func AddReport(fs *flag.FlagSet) *string {
+	return fs.String("report", "", "write a run manifest (coverage + resource accounting) to this JSON file")
+}
+
 // Deprecated bundles the flag aliases kept for one release: -protocol for
 // -proto, and -reorder for -net reorder=N.
 type Deprecated struct {

@@ -5,6 +5,7 @@ import (
 
 	"teapot/internal/core"
 	"teapot/internal/mc"
+	"teapot/internal/obs"
 	"teapot/internal/runtime"
 	"teapot/internal/sema"
 	"teapot/internal/vm"
@@ -29,6 +30,8 @@ type execMachine struct {
 
 	timeoutTag, nackTag int
 	sendErr             error
+
+	obsSink obs.Sink // replay-parity stream; never part of snapshots
 }
 
 func newExecMachine(spec core.RunSpec) *execMachine {
@@ -54,6 +57,25 @@ func newExecMachine(spec core.RunSpec) *execMachine {
 		x.access[homeOf(b)*spec.Blocks+b] = sema.AccReadWrite
 	}
 	return x
+}
+
+// setObs attaches a sink to the harness and its engines, so a replay here
+// emits the same HandlerEnter/Exit/Send/Drop/Dup stream as the checker's
+// own replay (mc.Config.Obs) and as a live simulator run.
+func (x *execMachine) setObs(s obs.Sink) {
+	x.obsSink = s
+	for _, e := range x.engines {
+		e.SetObs(s)
+	}
+}
+
+// emitFault mirrors mc.World.emitFault (and the tempest machine's shape).
+func (x *execMachine) emitFault(kind obs.Kind, from, to int, m *runtime.Message) {
+	if x.obsSink == nil {
+		return
+	}
+	x.obsSink.Emit(obs.Event{Kind: kind, Node: int32(from), Block: int32(m.ID),
+		State: -1, Msg: int32(m.Tag), Peer: int32(to), Site: -1, Flow: m.Flow()})
 }
 
 // ---- runtime.Machine (mirrors mc.World's implementation) ----
@@ -109,9 +131,11 @@ func (x *execMachine) apply(st mc.Step, ev *mc.Event) error {
 		}
 		return x.sendErr
 	case "drop":
-		if _, err := x.removeAt(st.From*x.spec.Nodes+st.To, st.Idx); err != nil {
+		m, err := x.removeAt(st.From*x.spec.Nodes+st.To, st.Idx)
+		if err != nil {
 			return err
 		}
+		x.emitFault(obs.KindDrop, st.From, st.To, m)
 		x.drops++
 		return nil
 	case "dup":
@@ -127,6 +151,7 @@ func (x *execMachine) apply(st mc.Step, ev *mc.Event) error {
 		x.channels[ch] = append(x.channels[ch], nil)
 		copy(x.channels[ch][st.Idx+2:], x.channels[ch][st.Idx+1:])
 		x.channels[ch][st.Idx+1] = cm
+		x.emitFault(obs.KindDup, st.From, st.To, m)
 		x.dups++
 		return nil
 	case "corrupt":

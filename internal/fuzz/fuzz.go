@@ -47,6 +47,14 @@ type Config struct {
 	OpsPerNode int     // workload length (default 40)
 	Seed       uint64  // master seed; 0 derives one from the run shape
 	Rate       float64 // deviation probability (default DefaultRate)
+
+	// Coverage, when set, accumulates dispatch/transition/fault coverage
+	// across every schedule in the campaign (teed behind the oracle, so the
+	// judging path is unchanged).
+	Coverage *obs.Coverage
+	// Obs, when set, is teed into each run's event stream alongside the
+	// oracle (e.g. a flight recorder for the failing schedule's tail).
+	Obs obs.Sink
 }
 
 // maxRunEvents caps each scheduled run. Clean fuzz workloads finish in a
@@ -166,6 +174,20 @@ func (f *Fuzzer) Fuzz() (*Result, error) {
 	return res, nil
 }
 
+// Seed exposes the campaign's effective master seed (after derivation
+// from the run shape when Config.Seed was 0).
+func (f *Fuzzer) Seed() uint64 { return f.cfg.Seed }
+
+// ReplayObserved replays one schedule with an extra sink teed into the
+// run's event stream — how a failing schedule gets a flight-recorder pass
+// after the campaign stops.
+func (f *Fuzzer) ReplayObserved(s *Schedule, sink obs.Sink) *Report {
+	saved := f.cfg.Obs
+	f.cfg.Obs = sink
+	defer func() { f.cfg.Obs = saved }()
+	return f.Replay(s)
+}
+
 // Replay runs one schedule through the fuzzer's compiled protocol.
 func (f *Fuzzer) Replay(s *Schedule) *Report {
 	rp := NewReplayer(s)
@@ -203,7 +225,16 @@ func (f *Fuzzer) runWith(ch tempest.Chooser, wSeed uint64) *Report {
 		Nodes: f.cfg.Nodes, Blocks: f.cfg.Blocks, OpsPerNode: f.cfg.OpsPerNode,
 		Seed: wSeed, Evict: f.prof.Evict, Sync: f.prof.Sync,
 	})
-	simCfg.Obs = checker
+	// Build the sink set explicitly: a nil *Coverage wrapped in the Sink
+	// interface would slip past NewTee's nil filter (typed nil).
+	sinks := []obs.Sink{checker}
+	if f.cfg.Coverage != nil {
+		sinks = append(sinks, f.cfg.Coverage)
+	}
+	if f.cfg.Obs != nil {
+		sinks = append(sinks, f.cfg.Obs)
+	}
+	simCfg.Obs = obs.NewTee(sinks...)
 	simCfg.Sched = ch
 	simCfg.ObsMemory = true
 	simCfg.MaxEvents = maxRunEvents

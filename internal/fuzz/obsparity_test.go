@@ -1,0 +1,119 @@
+package fuzz
+
+import (
+	"testing"
+
+	"teapot/internal/mc"
+	"teapot/internal/netmodel"
+	"teapot/internal/obs"
+)
+
+// comparable projects an event onto the fields both replay substrates must
+// agree on. Seq/Time are sink-assigned (identical anyway for clockless
+// collectors) and excluded to keep the contract on protocol content.
+type comparableEvent struct {
+	Kind                          obs.Kind
+	Node, Block, State, Msg, Peer int32
+}
+
+func project(evs []obs.Event) []comparableEvent {
+	out := make([]comparableEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = comparableEvent{ev.Kind, ev.Node, ev.Block, ev.State, ev.Msg, ev.Peer}
+	}
+	return out
+}
+
+// TestReplayObsParity: replaying a checker counterexample through
+// mc.ReplaySteps (Config.Obs) and through the independent execMachine
+// harness must emit identical event streams — HandlerEnter/Exit, Send,
+// Drop, Dup, the lot. This is the "replay emits what a live run emits"
+// half of the single-source property: one protocol text, one event stream,
+// no matter which substrate executes it.
+func TestReplayObsParity(t *testing.T) {
+	// The seeded SWMR bug under a drop budget: its counterexample carries
+	// deliver, drop, timeout, and event steps.
+	f, err := New(Config{Proto: "stache-ft-buggy", Nodes: 2, Blocks: 1,
+		Net: netmodel.Model{MaxDrops: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.ConfirmMC(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || len(res.Violation.Steps) == 0 {
+		t.Fatal("need a counterexample with steps")
+	}
+
+	// Substrate 1: the checker's own replay with Config.Obs attached.
+	mcCol := obs.NewCollector(0)
+	cfg := f.Spec().MCConfig()
+	cfg.Obs = mcCol
+	if err := mc.ReplaySteps(cfg, res.Violation.Steps, nil); err != nil {
+		t.Fatalf("mc replay: %v", err)
+	}
+
+	// Substrate 2: the differential harness with its own sink, driven by a
+	// plain ReplaySteps pass (no sink) purely for step resolution.
+	xCol := obs.NewCollector(0)
+	x := newExecMachine(f.Spec())
+	x.setObs(xCol)
+	err = mc.ReplaySteps(f.Spec().MCConfig(), res.Violation.Steps,
+		func(i int, st mc.Step, ev *mc.Event, w *mc.World, applyErr error) error {
+			herr := x.apply(st, ev)
+			if (applyErr == nil) != (herr == nil) {
+				t.Fatalf("step %d: substrates disagree on failure: %v vs %v", i, applyErr, herr)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("harness replay: %v", err)
+	}
+
+	a, b := project(mcCol.Events()), project(xCol.Events())
+	if len(a) == 0 {
+		t.Fatal("replay emitted no events")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("stream lengths differ: checker %d, harness %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d differs: checker %+v, harness %+v", i, a[i], b[i])
+		}
+	}
+	if mcCol.Count(obs.KindDrop) == 0 {
+		t.Error("drop counterexample replayed without a Drop event")
+	}
+}
+
+// TestCampaignCoverage: a fuzz campaign with Config.Coverage accumulates
+// dispatch coverage across schedules, and the same campaign re-run
+// accumulates the identical report (seeded schedules are deterministic).
+func TestCampaignCoverage(t *testing.T) {
+	campaign := func() *obs.Coverage {
+		cov := obs.NewCoverage()
+		f, err := New(Config{Proto: "stache", Nodes: 2, Blocks: 1,
+			Schedules: 20, Seed: 7, Coverage: cov})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Fuzz()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failure != nil {
+			t.Fatalf("clean protocol failed: %v", res.Failure.Report)
+		}
+		return cov
+	}
+	a, b := campaign(), campaign()
+	if a.DispatchPairs() == 0 {
+		t.Fatal("campaign accumulated no dispatch coverage")
+	}
+	if a.DispatchPairs() != b.DispatchPairs() || a.TransitionEdges() != b.TransitionEdges() {
+		t.Errorf("re-run drifted: %d/%d pairs, %d/%d edges",
+			a.DispatchPairs(), b.DispatchPairs(), a.TransitionEdges(), b.TransitionEdges())
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"teapot/internal/obs"
 )
 
 // Check runs the breadth-first exploration.
@@ -26,6 +28,10 @@ import (
 // count.
 func Check(cfg Config) (*Result, error) {
 	cfg.normalize()
+	// Exploration never attaches Config.Obs to the worlds it expands: that
+	// sink is the replay path's (see ReplaySteps). Coverage accounting has
+	// its own per-worker wiring below.
+	cfg.Obs = nil
 	if err := cfg.Net.Validate(); err != nil {
 		return nil, err
 	}
@@ -129,6 +135,7 @@ type workerOut struct {
 	cand        *candidate
 	transitions int64
 	decodes     int64
+	cov         *obs.Coverage // per-worker coverage, merged at the barrier
 	err         error
 }
 
@@ -148,6 +155,7 @@ func expandLayer(cfg *Config, vt *visitedTable, red *reduction, layer []int32) (
 
 	merged := &workerOut{}
 	if workers <= 1 {
+		merged.cov = cfg.Coverage // accumulate in place, nothing to merge
 		for pos := range layer {
 			if err := expandState(cfg, vt, red, layer, int32(pos), merged); err != nil {
 				return nil, err
@@ -157,6 +165,11 @@ func expandLayer(cfg *Config, vt *visitedTable, red *reduction, layer []int32) (
 	}
 
 	outs := make([]workerOut, workers)
+	if cfg.Coverage != nil {
+		for i := range outs {
+			outs[i].cov = obs.NewCoverage()
+		}
+	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -183,6 +196,11 @@ func expandLayer(cfg *Config, vt *visitedTable, red *reduction, layer []int32) (
 		}
 		merged.transitions += o.transitions
 		merged.decodes += o.decodes
+		if cfg.Coverage != nil {
+			// Set union with count addition commutes, so merging in worker
+			// order (or any order) accumulates identical coverage.
+			cfg.Coverage.Merge(o.cov)
+		}
 		if o.cand != nil {
 			merged.take(o.cand)
 		}
@@ -216,6 +234,22 @@ func expandState(cfg *Config, vt *visitedTable, red *reduction, layer []int32, p
 			}
 		}
 		out.transitions++
+		if out.cov != nil {
+			// Handler-level coverage flows from the engines' event stream;
+			// the two fault actions no event kind exists for (reordered
+			// deliveries, corrupt bounces) are recorded at the action level.
+			wa.setObs(out.cov)
+			switch a.kind {
+			case actDeliver:
+				if a.idx > 0 {
+					out.cov.FaultSite(obs.FaultActionReorder,
+						int32(wa.channels[a.from*cfg.Nodes+a.to][a.idx].Tag))
+				}
+			case actCorrupt:
+				out.cov.FaultSite(obs.FaultActionCorrupt,
+					int32(wa.channels[a.from*cfg.Nodes+a.to][a.idx].Tag))
+			}
+		}
 		if err := wa.apply(a); err != nil {
 			out.take(&candidate{kind: "protocol-error", msg: err.Error(), pos: pos, ord: int32(i)})
 			continue

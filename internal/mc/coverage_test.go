@@ -1,0 +1,138 @@
+package mc_test
+
+import (
+	"reflect"
+	"testing"
+
+	"teapot/internal/mc"
+	"teapot/internal/netmodel"
+	"teapot/internal/obs"
+	"teapot/internal/runtime"
+)
+
+// coverageRun explores cfg with a coverage sink attached and returns the
+// rendered report plus the checker result.
+func coverageRun(t *testing.T, cfg mc.Config, workers int) (*obs.CoverageReport, *mc.Result) {
+	t.Helper()
+	cov := obs.NewCoverage()
+	cfg.Coverage = cov
+	cfg.Workers = workers
+	res, err := mc.Check(cfg)
+	if err != nil {
+		t.Fatalf("mc (workers=%d): %v", workers, err)
+	}
+	return cov.Report(runtime.ObsNames(cfg.Proto)), res
+}
+
+// TestCoverageWorkerEquivalence: coverage accumulates per worker and merges
+// at layer barriers; the totals (not just the sets) must be identical for
+// any worker count, on clean and fault-budgeted machines alike.
+func TestCoverageWorkerEquivalence(t *testing.T) {
+	cfgs := map[string]func() mc.Config{
+		"stache-reorder": func() mc.Config { return stacheConfig(t, 2, 1, 1) },
+		"stache-ft-faults": func() mc.Config {
+			return stacheFTConfig(t, 2, 1, netmodel.Model{MaxDrops: 1, MaxDups: 1})
+		},
+	}
+	for name, mk := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			ref, refRes := coverageRun(t, mk(), 1)
+			if len(ref.Dispatch) == 0 || len(ref.Transitions) == 0 {
+				t.Fatalf("empty coverage from an exhaustive run: %+v", ref)
+			}
+			for _, workers := range []int{2, 4} {
+				got, gotRes := coverageRun(t, mk(), workers)
+				if !reflect.DeepEqual(ref, got) {
+					t.Errorf("workers=%d: coverage differs from workers=1:\n%+v\nvs\n%+v",
+						workers, got, ref)
+				}
+				if gotRes.States != refRes.States || gotRes.Transitions != refRes.Transitions {
+					t.Errorf("workers=%d: result drifted: %d/%d states, want %d/%d",
+						workers, gotRes.States, gotRes.Transitions, refRes.States, refRes.Transitions)
+				}
+			}
+		})
+	}
+}
+
+// TestCoverageDoesNotPerturbExploration: the same run with and without a
+// coverage sink must visit the identical state space.
+func TestCoverageDoesNotPerturbExploration(t *testing.T) {
+	plain, err := mc.Check(stacheConfig(t, 2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, covered := coverageRun(t, stacheConfig(t, 2, 1, 1), 1)
+	if plain.States != covered.States || plain.Transitions != covered.Transitions ||
+		plain.MaxDepth != covered.MaxDepth {
+		t.Errorf("coverage changed exploration: %d/%d/%d vs %d/%d/%d",
+			covered.States, covered.Transitions, covered.MaxDepth,
+			plain.States, plain.Transitions, plain.MaxDepth)
+	}
+}
+
+// TestCoverageFaultActions: a budgeted run must record the drop and dup
+// actions it explored, keyed by message tag.
+func TestCoverageFaultActions(t *testing.T) {
+	rep, _ := coverageRun(t, stacheFTConfig(t, 2, 1, netmodel.Model{MaxDrops: 1, MaxDups: 1}), 1)
+	var drops, dups uint64
+	for k, n := range rep.Faults {
+		switch {
+		case len(k) > 5 && k[:5] == "drop:":
+			drops += n
+		case len(k) > 4 && k[:4] == "dup:":
+			dups += n
+		}
+	}
+	if drops == 0 || dups == 0 {
+		t.Errorf("fault budget spent but not recorded: faults=%v", rep.Faults)
+	}
+}
+
+// TestCoverageViolationRun: coverage accumulates up to (and including) the
+// layer where a violation is found; the buggy protocol must still produce
+// a usable report.
+func TestCoverageViolationRun(t *testing.T) {
+	cfg := stacheConfig(t, 2, 1, 0)
+	cfg.Net = netmodel.Model{MaxDrops: 1} // base stache stalls under a drop
+	cov := obs.NewCoverage()
+	cfg.Coverage = cov
+	res, err := mc.Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("expected the lost-message stall")
+	}
+	if cov.DispatchPairs() == 0 {
+		t.Error("no coverage accumulated before the violation")
+	}
+}
+
+// TestReplayStepsObsParity: replaying a counterexample with Config.Obs
+// attached must emit the handler and fault events of the violating
+// schedule — including the Drop event for the dropped message.
+func TestReplayStepsObsParity(t *testing.T) {
+	cfg := stacheConfig(t, 2, 1, 0)
+	cfg.Net = netmodel.Model{MaxDrops: 1}
+	res, err := mc.Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || len(res.Violation.Steps) == 0 {
+		t.Fatal("need a counterexample with steps")
+	}
+	col := obs.NewCollector(0)
+	rcfg := stacheConfig(t, 2, 1, 0)
+	rcfg.Net = netmodel.Model{MaxDrops: 1}
+	rcfg.Obs = col
+	if err := mc.ReplaySteps(rcfg, res.Violation.Steps, nil); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if col.Count(obs.KindDrop) == 0 {
+		t.Error("replay emitted no Drop event for a drop counterexample")
+	}
+	if col.Count(obs.KindHandlerEnter) == 0 {
+		t.Error("replay emitted no handler events")
+	}
+}

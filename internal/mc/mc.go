@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"teapot/internal/netmodel"
+	"teapot/internal/obs"
 	"teapot/internal/runtime"
 	"teapot/internal/sema"
 	"teapot/internal/vm"
@@ -86,6 +87,24 @@ type Config struct {
 	// back into the checker. Installing it never changes what the run
 	// computes: every Result figure stays bit-identical.
 	Progress func(ProgressInfo)
+
+	// Coverage, when non-nil, accumulates the dispatch / transition /
+	// fault-action coverage of the exploration (see obs.Coverage). An
+	// exhaustive run defines the 100% dynamic reference for the coverage
+	// plane: every enabled action of every reachable state is applied
+	// exactly once, so the accumulated sets are identical for any worker
+	// count (workers accumulate privately and merge at layer barriers).
+	// Installing it never changes what the run computes.
+	Coverage *obs.Coverage
+
+	// Obs, when non-nil, is attached to the engines of worlds built by
+	// InitialWorld and ReplaySteps, and the World-level fault actions
+	// (drop, dup) emit the same Drop/Dup events the simulator's machine
+	// emits — so a counterexample replay produces the event stream a live
+	// run of the same schedule would, and the oracle or a Coverage sink
+	// judges replayed traces identically. Check ignores it: exploration
+	// never attaches sinks to the worlds it expands.
+	Obs obs.Sink
 
 	// Resolved by normalize: message tags for the TIMEOUT pseudo-message and
 	// NACK (-1 when the protocol does not declare them).
@@ -247,7 +266,33 @@ type World struct {
 	dups     int
 	corrupts int
 
+	// obsSink, when non-nil, receives the world's fault events (Drop/Dup,
+	// in the simulator's emission shape) and is attached to every engine.
+	// Set from Config.Obs for replay worlds, or per-clone by the checker's
+	// coverage accounting. Never part of the canonical encoding.
+	obsSink obs.Sink
+
 	sendErr error
+}
+
+// setObs attaches a sink to the world and all its engines (nil detaches).
+func (w *World) setObs(s obs.Sink) {
+	w.obsSink = s
+	for _, e := range w.engines {
+		e.SetObs(s)
+	}
+}
+
+// emitFault mirrors the tempest machine's fault emission: the event is
+// attributed to the sending node with the in-flight message's flow id, so
+// a replayed counterexample and a live simulator run of the same schedule
+// produce the same Drop/Dup stream.
+func (w *World) emitFault(kind obs.Kind, from, to int, m *runtime.Message) {
+	if w.obsSink == nil {
+		return
+	}
+	w.obsSink.Emit(obs.Event{Kind: kind, Node: int32(from), Block: int32(m.ID),
+		State: -1, Msg: int32(m.Tag), Peer: int32(to), Site: -1, Flow: m.Flow()})
 }
 
 // Drops returns how many messages have been dropped on the path to this
@@ -352,6 +397,9 @@ func newWorld(cfg *Config) *World {
 	}
 	for b := 0; b < cfg.Blocks; b++ {
 		w.access[cfg.HomeOf(b)*cfg.Blocks+b] = sema.AccReadWrite
+	}
+	if cfg.Obs != nil {
+		w.setObs(cfg.Obs)
 	}
 	return w
 }
@@ -595,7 +643,8 @@ func (w *World) apply(a action) error {
 		}
 		return w.sendErr
 	case actDrop:
-		w.removeAt(a.from*w.cfg.Nodes+a.to, a.idx)
+		m := w.removeAt(a.from*w.cfg.Nodes+a.to, a.idx)
+		w.emitFault(obs.KindDrop, a.from, a.to, m)
 		w.drops++
 		return nil
 	case actDup:
@@ -614,6 +663,7 @@ func (w *World) apply(a action) error {
 		w.channels[ch] = append(w.channels[ch], nil)
 		copy(w.channels[ch][a.idx+2:], w.channels[ch][a.idx+1:])
 		w.channels[ch][a.idx+1] = cm
+		w.emitFault(obs.KindDup, a.from, a.to, m)
 		w.dups++
 		return nil
 	case actCorrupt:

@@ -55,6 +55,23 @@ func NewCollector(capacity int) *Collector {
 	}
 }
 
+// DefaultFlightRecorderCap is the event window NewFlightRecorder keeps when
+// given no capacity: enough tail to see the exchange leading into a
+// violation, small enough to attach to every fuzz schedule for free.
+const DefaultFlightRecorderCap = 64
+
+// NewFlightRecorder builds a Collector in flight-recorder mode: a small
+// last-N-events ring (<= 0 uses DefaultFlightRecorderCap) intended for
+// post-mortems without full tracing. Counters still cover the whole run —
+// only the retained window is tight. Dump the tail with TailLines when an
+// oracle violation or checker counterexample needs context.
+func NewFlightRecorder(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultFlightRecorderCap
+	}
+	return NewCollector(capacity)
+}
+
 // SetClock implements ClockSetter.
 func (c *Collector) SetClock(now func() int64) { c.Clock = now }
 
@@ -110,12 +127,65 @@ func (c *Collector) Count(k Kind) int64 {
 // MaxQueueDepth returns the deepest deferred queue observed.
 func (c *Collector) MaxQueueDepth() int64 { return c.maxDepth }
 
+// KindCounts returns the nonzero per-kind counters keyed by kind name
+// (the run manifest's "by_kind" block).
+func (c *Collector) KindCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for k := Kind(0); k < numKinds; k++ {
+		if c.kinds[k] != 0 {
+			out[k.String()] = c.kinds[k]
+		}
+	}
+	return out
+}
+
 // Events returns the retained window in emission order.
 func (c *Collector) Events() []Event {
 	out := make([]Event, 0, len(c.ring))
 	out = append(out, c.ring[c.start:]...)
 	out = append(out, c.ring[:c.start]...)
 	return out
+}
+
+// TailLines renders the last n retained events (all of them when n <= 0 or
+// exceeds the window), one line per event, oldest first.
+func (c *Collector) TailLines(n int, names Names) []string {
+	evs := c.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = FormatEvent(ev, names)
+	}
+	return out
+}
+
+// FormatEvent renders one event as a single plain-text line (the flight
+// recorder's dump format): sequence, virtual time, kind, location, then
+// whichever kind-specific fields are set.
+func FormatEvent(ev Event, names Names) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d @%d %s node%d blk%d", ev.Seq, ev.Time, ev.Kind, ev.Node, ev.Block)
+	if ev.State >= 0 {
+		fmt.Fprintf(&b, " state=%s", names.State(ev.State))
+	}
+	if ev.Msg >= 0 {
+		fmt.Fprintf(&b, " msg=%s", names.Message(ev.Msg))
+	}
+	if ev.Peer >= 0 {
+		fmt.Fprintf(&b, " peer=node%d", ev.Peer)
+	}
+	if ev.Site >= 0 {
+		fmt.Fprintf(&b, " site=%d", ev.Site)
+	}
+	if ev.Arg != 0 {
+		fmt.Fprintf(&b, " arg=%d", ev.Arg)
+	}
+	if ev.Flow != 0 {
+		fmt.Fprintf(&b, " flow=%x", ev.Flow)
+	}
+	return b.String()
 }
 
 // HeapContSites returns the suspend sites that heap-allocated at least one

@@ -43,13 +43,14 @@ const (
 	KindData
 	KindRead
 	KindWrite
+	KindDelay
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"HandlerEnter", "HandlerExit", "Suspend", "Resume", "ContAlloc",
 	"Enqueue", "Dequeue", "NACK", "Send", "Deliver", "Drop", "Dup",
-	"Access", "Data", "Read", "Write",
+	"Access", "Data", "Read", "Write", "Delay",
 }
 
 func (k Kind) String() string {
@@ -75,15 +76,18 @@ func (k Kind) String() string {
 //	Deliver       block  pre-state  tag        src       -     -              flow id
 //	Drop          block  -          tag        dst       -     -              flow id
 //	Dup           block  -          tag        dst       -     -              flow id
+//	Delay         block  -          tag        dst       -     -              flow id
 //	Access        block  -          -          -         -     new AccessMode -
 //	Data          block  -          tag        src       -     data version   -
 //	Read          block  -          -          -         -     version read   -
 //	Write         block  -          -          -         site  version made   -
 //
-// Drop and Dup are network fault injections (internal/netmodel): the event
-// is emitted at the *sending* node at send time. A Drop's flow id starts an
-// arrow that never ends — the lost message is visible in the Chrome trace
-// as a dangling flow; a Dup's flow id gains a second Deliver end.
+// Drop, Dup, and Delay are network fault injections (internal/netmodel):
+// the event is emitted at the *sending* node at send time. A Drop's flow id
+// starts an arrow that never ends — the lost message is visible in the
+// Chrome trace as a dangling flow; a Dup's flow id gains a second Deliver
+// end; a Delay marks a message held back extra latencies (the simulator's
+// reordering mechanism).
 //
 // Access/Data/Read/Write are the memory-model events the Tempest machine
 // emits when sim.Config.ObsMemory is set; internal/oracle consumes them to

@@ -389,6 +389,7 @@ func (m *Machine) Send(from, dst int, msg *runtime.Message) {
 		m.schedule(&event{at: m.now + lat, kind: 0, node: dst, msg: &c})
 	case netmodel.FaultDelay:
 		m.stats.Delays++
+		m.emitFault(obs.KindDelay, from, dst, msg)
 		lat += int64(m.cfg.Net.Delay) * m.cfg.Cost.NetLatency
 	}
 	m.trackInflight(from, dst)

@@ -105,3 +105,38 @@ case "$symline" in
   *"symmetry /2"*) ;;
   *) echo "check.sh: expected 'symmetry /2' in: $symline" >&2; exit 1 ;;
 esac
+# Coverage & run-manifest plane: the single-source property made
+# measurable. An exhaustive checker run and a seeded fuzz campaign over the
+# same shape each write a -report manifest; teapot-cover diffs them
+# (informational — fuzz undercoverage is expected) and cross-checks the
+# checker's dynamic dispatch coverage against static reachability. The only
+# tolerated gaps are the six home-side processor-fault handlers whose fault
+# kind the home's own access mode precludes (see EXPERIMENTS.md); any other
+# statically reachable handler the exhaustive run never entered fails the
+# build. teapot-verify -json must emit the same manifest on stdout.
+coverbin="$(mktemp -t teapot-cover.XXXXXX)"
+mcman="$(mktemp -t teapot-mc-man.XXXXXX.json)"
+fuzzman="$(mktemp -t teapot-fuzz-man.XXXXXX.json)"
+trap 'rm -f "$tmptrace" "$verifybin" "$fuzzbin" "$repro" "$coverbin" "$mcman" "$fuzzman"' EXIT
+go build -o "$coverbin" ./cmd/teapot-cover
+"$verifybin" -proto stache -nodes 3 -net reorder=1 -report "$mcman" >/dev/null
+"$fuzzbin" -proto stache -nodes 3 -blocks 1 -net reorder=1 -schedules 200 -seed 7 -report "$fuzzman" >/dev/null
+python3 - "$mcman" "$fuzzman" <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        m = json.load(f)
+    assert m["manifest_version"] == 1, path
+    assert m["protocol"] == "stache" and m["nodes"] == 3, path
+    assert m["coverage"]["dispatch"], path
+    assert ("mc" in m) != ("fuzz" in m), path
+print("run manifests validate")
+PY
+"$coverbin" "$mcman" "$fuzzman" >/dev/null
+"$coverbin" -static \
+  -allow Home_Excl.WR_RO_FAULT,Home_Idle.RD_FAULT,Home_Idle.WR_FAULT,Home_Idle.WR_RO_FAULT,Home_RS.RD_FAULT,Home_RS.WR_FAULT \
+  "$mcman"
+"$verifybin" -proto stache -json | python3 -c 'import json,sys
+m = json.load(sys.stdin)
+assert m["tool"] == "teapot-verify" and m["mc"]["states"] > 0 and m["coverage"]["dispatch"]
+print("teapot-verify -json manifest validates")'
