@@ -1,0 +1,286 @@
+// Teapot-litmus runs a corpus of coherence litmus tests (tiny per-node
+// scripts of gets, puts, and CASes with expected / allowed / forbidden
+// final-state conditions) differentially across the three substrates: the
+// model checker enumerates the complete reachable outcome set via the
+// scripted-client plane, the simulator and fuzzer sample it through the
+// Tempest machine, and the harness diffs the three sets. Forbidden
+// outcomes become named counterexamples: a shortest checker trace
+// (replay-confirmed with mc.ReplaySteps) and a delta-debugged fuzz
+// schedule saved as a disk-replayable reproducer.
+//
+// Usage:
+//
+//	teapot-litmus -corpus testdata/litmus
+//	teapot-litmus -corpus testdata/litmus/fail -mode all     # seeded bugs
+//	teapot-litmus -only mp -mode mc -json                    # outcome sets
+//	teapot-litmus -replay mp-litmus-repro.json               # re-judge
+//
+// Exit status: 0 when every selected test passed, 2 when any test failed
+// (or a replayed reproducer still fails), 1 on usage/internal errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"teapot/internal/cliflags"
+	"teapot/internal/fuzz"
+	"teapot/internal/litmus"
+	"teapot/internal/manifest"
+	"teapot/internal/obs"
+	"teapot/internal/protocols"
+	"teapot/internal/runtime"
+)
+
+func main() {
+	lf := cliflags.AddLitmus(flag.CommandLine, filepath.Join("testdata", "litmus"))
+	var (
+		seed    = flag.Uint64("seed", 1, "simulator/fuzzer master seed (0 = derive per test from its run shape)")
+		workers = flag.Int("workers", 0, "model-checker BFS worker goroutines (0 = GOMAXPROCS)")
+		only    = flag.String("only", "", "run only tests whose name contains this substring")
+		jsonOut = flag.Bool("json", false, "print the machine-readable outcome-set report to stdout (human output moves to stderr)")
+		out     = flag.String("out", "", "write fuzz reproducers to this file (default <test>-litmus-repro.json)")
+		replay  = flag.String("replay", "", "replay a saved litmus schedule instead of running the corpus (its test is looked up in -corpus)")
+		report  = cliflags.AddReport(flag.CommandLine)
+	)
+	flag.Parse()
+	if !lf.ModeOK() {
+		fmt.Fprintln(os.Stderr, cliflags.BadFlag("teapot-litmus", "mode", *lf.Mode, "sim | fuzz | mc | all"))
+		os.Exit(1)
+	}
+
+	if *replay != "" {
+		os.Exit(replayFile(*replay, *lf.Corpus))
+	}
+
+	tests, err := litmus.LoadDir(*lf.Corpus)
+	if err != nil {
+		fatal(err)
+	}
+	if *only != "" {
+		var sel []*litmus.Test
+		for _, t := range tests {
+			if strings.Contains(t.Name, *only) {
+				sel = append(sel, t)
+			}
+		}
+		if len(sel) == 0 {
+			fatal(fmt.Errorf("no test in %s matches -only %q", *lf.Corpus, *only))
+		}
+		tests = sel
+	}
+
+	var cov *obs.Coverage
+	if *report != "" {
+		for _, t := range tests[1:] {
+			if t.Proto != tests[0].Proto {
+				fatal(fmt.Errorf("-report needs a single-protocol selection, corpus mixes %s and %s (narrow with -only)",
+					tests[0].Proto, t.Proto))
+			}
+		}
+		cov = obs.NewCoverage()
+	}
+
+	// With -json, stdout is reserved for the report document.
+	hout := os.Stdout
+	if *jsonOut {
+		hout = os.Stderr
+	}
+
+	opt := litmus.Options{Mode: *lf.Mode, Budget: *lf.Budget, Seed: *seed, Workers: *workers, Coverage: cov}
+	var results []*litmus.Result
+	failed := 0
+	for _, t := range tests {
+		res, err := litmus.Run(t, opt)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+		printResult(hout, res)
+		if f := res.Failure(); f != nil {
+			failed++
+			saveReproducers(hout, res, *out)
+		}
+	}
+	fmt.Fprintf(hout, "corpus %s: %d test(s), %d failed\n", *lf.Corpus, len(tests), failed)
+
+	if *jsonOut {
+		rep := litmus.NewReport(*lf.Corpus, *lf.Mode, results)
+		data, err := rep.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+	}
+	if *report != "" {
+		writeManifest(*report, *lf.Corpus, *lf.Mode, tests, results, cov, *seed)
+	}
+	if failed > 0 {
+		os.Exit(2)
+	}
+}
+
+// printResult renders one test's differential verdict.
+func printResult(w *os.File, res *litmus.Result) {
+	t := res.Test
+	shape := fmt.Sprintf("%s %dx%d", t.Proto, t.Nodes, len(t.Blocks))
+	if t.Net != "" {
+		shape += " net=" + t.Net
+	}
+	sets := ""
+	for _, m := range res.Modes {
+		switch m {
+		case "mc":
+			sets += fmt.Sprintf(" mc=%d", len(res.MC))
+		case "sim":
+			sets += fmt.Sprintf(" sim=%d", len(res.Sim))
+		case "fuzz":
+			sets += fmt.Sprintf(" fuzz=%d", len(res.Fuzz))
+		}
+	}
+	verdict := "ok"
+	if f := res.Failure(); f != nil {
+		verdict = f.Class
+	}
+	fmt.Fprintf(w, "%-16s (%s): modes %s, %d mc states, outcomes%s, mc-only=%d — %s\n",
+		t.Name, shape, strings.Join(res.Modes, "+"), res.MCStates, sets, len(res.MCOnly()), verdict)
+	for _, k := range res.MCOnly() {
+		fmt.Fprintf(w, "  mc-only outcome (sampling gap): %s\n", k)
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintf(w, "  FAILURE %s: %s\n", t.Name, f)
+	}
+}
+
+// saveReproducers writes each fuzz failure's shrunk schedule next to the
+// run (or at -out) and re-judges it from disk: the reproducer must carry
+// everything needed to fail again, independent of this process.
+func saveReproducers(w *os.File, res *litmus.Result, outPath string) {
+	for _, f := range res.Failures {
+		if f.Schedule == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  minimal reproducer: %d decision(s)\n", len(f.Schedule.Decisions))
+		path := outPath
+		if path == "" {
+			path = res.Test.Name + "-litmus-repro.json"
+		}
+		if err := f.Schedule.Save(path); err != nil {
+			fatal(err)
+		}
+		loaded, err := fuzz.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		class, desc, err := litmus.Replay(res.Test, loaded, litmus.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if class != f.Class {
+			fatal(fmt.Errorf("saved reproducer %s replays as %q (%s), want %q", path, class, desc, f.Class))
+		}
+		fmt.Fprintf(w, "  reproducer written to %s and replays from disk (replay with: teapot-litmus -replay %s)\n", path, path)
+	}
+}
+
+// replayFile re-judges a saved litmus schedule against its test. Exit code
+// mirrors the corpus path: 2 when the failure reproduces, 0 when clean.
+func replayFile(path, corpus string) int {
+	s, err := fuzz.Load(path)
+	if err != nil {
+		fatal(err)
+	}
+	if s.Litmus == "" {
+		fatal(fmt.Errorf("%s is not a litmus schedule (replay it with teapot-fuzz -replay)", path))
+	}
+	t, err := findTest(corpus, s.Litmus)
+	if err != nil {
+		fatal(err)
+	}
+	class, desc, err := litmus.Replay(t, s, litmus.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replaying %s against litmus %s\n", path, t.Name)
+	if class == "" {
+		fmt.Println("schedule ran clean: no violation")
+		return 0
+	}
+	fmt.Printf("reproduced: %s: %s\n", class, desc)
+	if s.Expect != "" && class != s.Expect {
+		fmt.Printf("note: schedule expected class %q\n", s.Expect)
+	}
+	return 2
+}
+
+// findTest resolves a test name in the corpus directory, falling back to
+// its fail/ subdirectory (negative-path reproducers reference those).
+func findTest(corpus, name string) (*litmus.Test, error) {
+	for _, dir := range []string{corpus, filepath.Join(corpus, "fail")} {
+		tests, err := litmus.LoadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, t := range tests {
+			if t.Name == name {
+				return t, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("test %q not found in %s (or its fail/ subdirectory); point -corpus at its corpus", name, corpus)
+}
+
+// writeManifest lowers the corpus run into the shared run-manifest schema:
+// one manifest per run, carrying the aggregate litmus stats and the
+// coverage union of every substrate of every test.
+func writeManifest(path, corpus, mode string, tests []*litmus.Test, results []*litmus.Result, cov *obs.Coverage, seed uint64) {
+	nodes, blocks := 0, 0
+	net := tests[0].Net
+	for _, t := range tests {
+		if t.Nodes > nodes {
+			nodes = t.Nodes
+		}
+		if len(t.Blocks) > blocks {
+			blocks = len(t.Blocks)
+		}
+		if t.Net != net {
+			net = "" // mixed fault models: the per-test record is in -json
+		}
+	}
+	ls := &manifest.LitmusStats{Corpus: corpus, Mode: mode, Tests: len(results)}
+	for _, res := range results {
+		ls.MCStates += res.MCStates
+		if f := res.Failure(); f != nil {
+			ls.Failed++
+			if ls.Verdict == "" {
+				ls.Verdict = fmt.Sprintf("%s: %s", res.Test.Name, f)
+			}
+		}
+	}
+	spec, err := protocols.Spec(tests[0].Proto, nodes, blocks)
+	if err != nil {
+		fatal(err)
+	}
+	man := &manifest.Manifest{
+		ManifestVersion: manifest.Version,
+		Tool:            "teapot-litmus",
+		Protocol:        tests[0].Proto,
+		Nodes:           nodes,
+		Blocks:          blocks,
+		Net:             net,
+		Seed:            seed,
+		Coverage:        cov.Report(runtime.ObsNames(spec.Proto)),
+		Litmus:          ls,
+	}
+	if err := manifest.Write(path, man); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "teapot-litmus:", err)
+	os.Exit(1)
+}

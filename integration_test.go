@@ -3,12 +3,15 @@
 package teapot_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"teapot/internal/manifest"
 )
 
 func runTool(t *testing.T, args ...string) (string, error) {
@@ -279,5 +282,86 @@ func TestVerifyJSONManifest(t *testing.T) {
 	}
 	if _, ok := man["flight_recorder"]; !ok {
 		t.Error("violating manifest lacks the flight-recorder tail")
+	}
+}
+
+// TestLitmusGoldenJSON: `teapot-litmus -mode mc -json` is fully
+// deterministic — the exhaustive checker enumerates outcome sets and the
+// report sorts every list — so the mp-family report is pinned
+// byte-for-byte against the committed golden file. A schema or outcome
+// change must be deliberate: regenerate with
+//
+//	go run ./cmd/teapot-litmus -corpus testdata/litmus -only mp -mode mc -json \
+//	  2>/dev/null > testdata/golden/teapot-litmus-mp-mc.json
+func TestLitmusGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	cmd := exec.Command("go", "run", "./cmd/teapot-litmus",
+		"-corpus", "testdata/litmus", "-only", "mp", "-mode", "mc", "-json")
+	cmd.Env = os.Environ()
+	stdout, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden", "teapot-litmus-mp-mc.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout, golden) {
+		t.Errorf("report drifted from the golden file (see regeneration note above)\n--- got ---\n%s\n--- want ---\n%s", stdout, golden)
+	}
+
+	// The run manifest rides the shared schema: tool litmus, exactly one
+	// stats block, aggregate per-corpus accounting. -report requires a
+	// single-protocol selection, so narrow to the stache-ft pair
+	// (mp-drop-ft, mp-dup-ft).
+	report := filepath.Join(t.TempDir(), "litmus-man.json")
+	cmd = exec.Command("go", "run", "./cmd/teapot-litmus",
+		"-corpus", "testdata/litmus", "-only", "mp-d", "-mode", "mc", "-report", report)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	man, err := manifest.Load(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "teapot-litmus" || man.Litmus == nil {
+		t.Fatalf("manifest tool/stats = %q/%v", man.Tool, man.Litmus)
+	}
+	if man.Litmus.Tests != 2 || man.Litmus.Failed != 0 || man.Litmus.MCStates == 0 {
+		t.Errorf("litmus stats = %+v", man.Litmus)
+	}
+	if man.Coverage == nil || len(man.Coverage.Dispatch) == 0 {
+		t.Error("litmus manifest lacks dispatch coverage")
+	}
+}
+
+// TestLitmusFailCorpus: the negative-path corpus entries must FAIL with
+// their pinned classes — that is what proves the harness can still see
+// seeded bugs.
+func TestLitmusFailCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	dir := t.TempDir() // reproducers land here, not in the repo
+	cmd := exec.Command("go", "run", "./cmd/teapot-litmus",
+		"-corpus", filepath.Join("testdata", "litmus", "fail"), "-mode", "all",
+		"-out", filepath.Join(dir, "repro.json"))
+	cmd.Dir = "."
+	abs, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Dir = abs
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("fail corpus ran clean:\n%s", out)
+	}
+	for _, want := range []string{"swmr", "deadlock", "minimal reproducer:"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("fail-corpus output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -71,6 +71,32 @@ func AddRun(fs *flag.FlagSet, defProto string, defNodes, defBlocks int) *Run {
 	}
 }
 
+// Litmus bundles the litmus-harness flags (teapot-litmus).
+type Litmus struct {
+	Corpus *string
+	Mode   *string
+	Budget *int
+}
+
+// AddLitmus registers the litmus-harness flags on fs. Mode is validated by
+// ModeOK at use time (flag parsing stays declarative).
+func AddLitmus(fs *flag.FlagSet, defCorpus string) *Litmus {
+	return &Litmus{
+		Corpus: fs.String("corpus", defCorpus, "directory of .lit litmus tests (non-recursive)"),
+		Mode:   fs.String("mode", "all", "substrates to run: sim | fuzz | mc | all"),
+		Budget: fs.Int("budget", 0, "model-checker state budget per test (0 = the harness default); fuzz schedule counts scale with it"),
+	}
+}
+
+// ModeOK reports whether a -mode value is valid.
+func (l *Litmus) ModeOK() bool {
+	switch *l.Mode {
+	case "sim", "fuzz", "mc", "all":
+		return true
+	}
+	return false
+}
+
 // AddReport registers the shared -report flag on fs: the path of the
 // versioned run manifest (coverage sets plus resource accounting, see
 // internal/manifest) the tool writes after the run; "" writes nothing.

@@ -26,6 +26,15 @@ type RunSpec struct {
 	// checker injects; ignored by Simulate, which drives the engine from
 	// Program instead.
 	Events mc.EventGen
+	// Client attaches a scripted litmus workload to the checker (see
+	// mc.Config.Client); ignored by Simulate, whose Program carries the
+	// same script as tempest ops. Terminal is the checker's terminal-state
+	// judge (requires Client).
+	Client   *mc.Client
+	Terminal func(*mc.World) string
+	// InitMem gives blocks initial values in the simulator's data model
+	// (litmus workloads); the checker takes them from Client.InitMem.
+	InitMem []int64
 	// Codec is only needed by protocols that snapshot abstract values.
 	Codec runtime.AbstractCodec
 
@@ -87,6 +96,8 @@ func (s RunSpec) MCConfig() mc.Config {
 		HomeOf:         s.HomeOf,
 		Net:            s.Net,
 		Events:         s.Events,
+		Client:         s.Client,
+		Terminal:       s.Terminal,
 		Workers:        s.Workers,
 		CheckCoherence: s.CheckCoherence,
 		MaxStates:      s.MaxStates,
@@ -114,6 +125,7 @@ func (s RunSpec) SimConfig() sim.Config {
 		Obs:       s.Obs,
 		Net:       s.Net,
 		Seed:      s.EffectiveSeed(),
+		InitMem:   s.InitMem,
 		MaxEvents: s.MaxEvents,
 	}
 }

@@ -40,6 +40,20 @@ type Schedule struct {
 	OpsPerNode   int        `json:"ops_per_node"`
 	RecordSeed   uint64     `json:"record_seed,omitempty"` // provenance: the recorder RNG that found it
 	Decisions    []Decision `json:"decisions"`
+
+	// Litmus names the litmus test the schedule drives (teapot-litmus
+	// artifacts). Litmus schedules replay through the litmus harness —
+	// their workload is the test's script, not a RandomProgram — so the
+	// fuzzer's own replay refuses them.
+	Litmus string `json:"litmus,omitempty"`
+	// Expect classifies what replaying the schedule should produce
+	// ("violation", "error", "forbidden:<name>", or "clean" for regression
+	// artifacts pinning a fixed bug); informational for humans, asserted by
+	// the testdata/repro regression suite.
+	Expect string `json:"expect,omitempty"`
+	// Note is a human-readable provenance line ("found by ...", "pins the
+	// PR 5 ack-counting bug", ...).
+	Note string `json:"note,omitempty"`
 }
 
 // NetModel parses the schedule's fault model.

@@ -14,7 +14,19 @@ const maxShrinkTries = 2000
 // the number of replays spent; if the input does not fail on replay it is
 // returned unchanged with tries == 1.
 func (f *Fuzzer) Shrink(s *Schedule) (*Schedule, int) {
-	want := f.Replay(s).class()
+	return ShrinkSchedule(s, func(cand *Schedule) string {
+		return f.Replay(cand).class()
+	})
+}
+
+// ShrinkSchedule minimizes a failing schedule against an arbitrary failure
+// classifier: class replays a candidate and names its failure ("" = the
+// run passes). Any subset that preserves the original schedule's class is
+// kept. The litmus harness classifies runs by oracle violation, run error,
+// or forbidden final state; the fuzzer's Shrink delegates here with its
+// Report-based classifier.
+func ShrinkSchedule(s *Schedule, class func(*Schedule) string) (*Schedule, int) {
+	want := class(s)
 	tries := 1
 	if want == "" {
 		return s, tries
@@ -22,7 +34,7 @@ func (f *Fuzzer) Shrink(s *Schedule) (*Schedule, int) {
 	fails := func(dec []Decision) bool {
 		cand := *s
 		cand.Decisions = dec
-		return f.Replay(&cand).class() == want
+		return class(&cand) == want
 	}
 
 	dec := s.Decisions

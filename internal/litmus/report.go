@@ -1,0 +1,111 @@
+package litmus
+
+// The -json report: the machine-readable outcome-set record of one harness
+// run. Deterministic — outcome keys are sorted, substrate lists are in
+// execution order, and encoding mirrors the manifest conventions (HTML
+// escaping off, two-space indent) — so the schema can be golden-pinned.
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// Report is the top-level -json document.
+type Report struct {
+	Tool   string       `json:"tool"` // "teapot-litmus"
+	Corpus string       `json:"corpus"`
+	Mode   string       `json:"mode"`
+	Tests  []TestReport `json:"tests"`
+}
+
+// TestReport is one test's differential record.
+type TestReport struct {
+	Name     string `json:"name"`
+	Proto    string `json:"proto"`
+	Nodes    int    `json:"nodes"`
+	Blocks   int    `json:"blocks"`
+	Net      string `json:"net,omitempty"`
+	MustFail string `json:"must_fail,omitempty"`
+
+	Modes    []string `json:"modes"`
+	MCStates int      `json:"mc_states,omitempty"`
+
+	// Outcome sets as sorted canonical keys (absent when the substrate did
+	// not run; note an empty set and a skipped substrate both encode as
+	// absent — Modes says which ran).
+	MC   []string `json:"mc,omitempty"`
+	Sim  []string `json:"sim,omitempty"`
+	Fuzz []string `json:"fuzz,omitempty"`
+
+	// MCOnly is the sampling coverage gap; SimOnly/FuzzOnly are outcomes
+	// the exhaustive checker never reached (harness bugs, also reported as
+	// failures).
+	MCOnly   []string `json:"mc_only,omitempty"`
+	SimOnly  []string `json:"sim_only,omitempty"`
+	FuzzOnly []string `json:"fuzz_only,omitempty"`
+
+	Verdict  string          `json:"verdict"` // "ok" | primary failure class
+	Failures []FailureReport `json:"failures,omitempty"`
+}
+
+// FailureReport is one substrate failure in report form.
+type FailureReport struct {
+	Mode  string `json:"mode"`
+	Class string `json:"class"`
+	Msg   string `json:"msg"`
+	// ShrunkDecisions is the fuzz reproducer's length after delta
+	// debugging; Steps the mc counterexample's length.
+	ShrunkDecisions int `json:"shrunk_decisions,omitempty"`
+	Steps           int `json:"steps,omitempty"`
+}
+
+// NewReport lowers results into the report document.
+func NewReport(corpus, mode string, results []*Result) *Report {
+	rep := &Report{Tool: "teapot-litmus", Corpus: corpus, Mode: mode}
+	for _, res := range results {
+		t := res.Test
+		tr := TestReport{
+			Name:     t.Name,
+			Proto:    t.Proto,
+			Nodes:    t.Nodes,
+			Blocks:   len(t.Blocks),
+			Net:      t.Net,
+			MustFail: t.MustFail,
+			Modes:    res.Modes,
+			MCStates: res.MCStates,
+			MC:       t.SortedKeys(res.MC),
+			Sim:      t.SortedKeys(res.Sim),
+			Fuzz:     t.SortedKeys(res.Fuzz),
+			MCOnly:   res.MCOnly(),
+			SimOnly:  res.ExtraVsMC(res.Sim),
+			FuzzOnly: res.ExtraVsMC(res.Fuzz),
+			Verdict:  "ok",
+		}
+		if f := res.Failure(); f != nil {
+			tr.Verdict = f.Class
+		}
+		for _, f := range res.Failures {
+			fr := FailureReport{Mode: f.Mode, Class: f.Class, Msg: f.Msg,
+				ShrunkDecisions: f.ShrunkDecisions}
+			if f.MCViolation != nil {
+				fr.Steps = len(f.MCViolation.Steps)
+			}
+			tr.Failures = append(tr.Failures, fr)
+		}
+		rep.Tests = append(rep.Tests, tr)
+	}
+	return rep
+}
+
+// Encode renders the report as deterministic, indented JSON (HTML escaping
+// off, trailing newline — the manifest conventions).
+func (r *Report) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -41,9 +41,10 @@ type Manifest struct {
 	Coverage *obs.CoverageReport `json:"coverage,omitempty"`
 	Obs      *ObsSummary         `json:"obs,omitempty"`
 
-	MC   *MCStats   `json:"mc,omitempty"`
-	Sim  *SimStats  `json:"sim,omitempty"`
-	Fuzz *FuzzStats `json:"fuzz,omitempty"`
+	MC     *MCStats     `json:"mc,omitempty"`
+	Sim    *SimStats    `json:"sim,omitempty"`
+	Fuzz   *FuzzStats   `json:"fuzz,omitempty"`
+	Litmus *LitmusStats `json:"litmus,omitempty"`
 
 	// FlightRecorder is the last-N-events tail of a violating run (or of
 	// the counterexample replay), one obs.FormatEvent line per event.
@@ -129,6 +130,22 @@ type FuzzStats struct {
 	ShrunkDecisions int `json:"shrunk_decisions,omitempty"`
 }
 
+// LitmusStats is a litmus-harness run's accounting. One manifest covers
+// the whole corpus run (Protocol/Nodes/Blocks name the corpus's single
+// protocol and its largest geometry): litmus tests are small and numerous,
+// so the per-test record lives in the -json report, and the manifest
+// carries the aggregate the coverage plane diffs.
+type LitmusStats struct {
+	Corpus   string `json:"corpus"` // corpus directory
+	Mode     string `json:"mode"`   // substrate selection the run used
+	Tests    int    `json:"tests"`
+	Failed   int    `json:"failed"`
+	MCStates int    `json:"mc_states"` // states summed over every test's exploration
+	// Verdict is "" when the corpus ran clean, else the first failure in
+	// corpus order, "<test>: [<mode>] <class>: <msg>".
+	Verdict string `json:"verdict,omitempty"`
+}
+
 // Encode renders the manifest as deterministic, indented JSON. Mirrors
 // teapot-vet -json conventions: HTML escaping off (state names like
 // "Home_RO->..." in transition keys must survive readably), two-space
@@ -196,8 +213,11 @@ func (m *Manifest) Validate() error {
 	if m.Fuzz != nil {
 		n++
 	}
+	if m.Litmus != nil {
+		n++
+	}
 	if n != 1 {
-		return fmt.Errorf("want exactly one of mc/sim/fuzz stats, have %d", n)
+		return fmt.Errorf("want exactly one of mc/sim/fuzz/litmus stats, have %d", n)
 	}
 	if m.Coverage != nil && m.Coverage.Dispatch == nil {
 		return fmt.Errorf("coverage block without dispatch set")

@@ -79,9 +79,16 @@ func TestValidate(t *testing.T) {
 	bad("geometry", func(m *Manifest) { m.Nodes = 0 })
 	bad("no stats", func(m *Manifest) { m.MC = nil })
 	bad("two stats", func(m *Manifest) { m.Sim = &SimStats{} })
+	bad("litmus plus mc stats", func(m *Manifest) { m.Litmus = &LitmusStats{Tests: 1} })
 	bad("coverage without dispatch", func(m *Manifest) { m.Coverage = &obs.CoverageReport{} })
 	if err := validManifest().Validate(); err != nil {
 		t.Errorf("valid manifest rejected: %v", err)
+	}
+	m := validManifest()
+	m.MC = nil
+	m.Litmus = &LitmusStats{Corpus: "testdata/litmus", Mode: "all", Tests: 10}
+	if err := m.Validate(); err != nil {
+		t.Errorf("litmus-only manifest rejected: %v", err)
 	}
 }
 

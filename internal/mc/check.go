@@ -219,6 +219,15 @@ func expandState(cfg *Config, vt *visitedTable, red *reduction, layer []int32, p
 		return fmt.Errorf("mc: decode: %w", err)
 	}
 	out.decodes++
+	// Terminal-state judgment (litmus runs): a state where every script has
+	// finished, nothing is stalled, and the network has drained is a final
+	// outcome; a judging hook that rejects it makes the state itself the
+	// violation (ord -1, like deadlocks — the trace leads to the state).
+	if cfg.Terminal != nil && w.networkEmpty() && !w.anyStalled() && w.ClientDone() {
+		if msg := cfg.Terminal(w); msg != "" {
+			out.take(&candidate{kind: "litmus", msg: msg, pos: pos, ord: -1})
+		}
+	}
 	acts := w.actions()
 	if len(acts) == 0 {
 		if w.anyStalled() && w.networkEmpty() {
@@ -361,9 +370,11 @@ func buildViolation(cfg *Config, vt *visitedTable, red *reduction, layer []int32
 			g = compose(red.group[vt.arena[chain[n+1]].perm], g)
 		}
 	}
-	if c.ord < 0 && red != nil {
+	if c.kind == "deadlock" && red != nil {
 		// Deadlocks are a property of the final state; re-describe the
-		// stall against the original-coordinate world.
+		// stall against the original-coordinate world. (Litmus terminal
+		// judgments are also ord -1 but carry their own message — and never
+		// coexist with reduction, which refuses scripted clients.)
 		msg = describeStall(w)
 	}
 	return &Violation{Kind: c.kind, Msg: msg, Trace: trace, Steps: machineSteps}, nil

@@ -1,0 +1,256 @@
+package mc
+
+import (
+	"fmt"
+
+	"teapot/internal/runtime"
+	"teapot/internal/sema"
+	"teapot/internal/tempest"
+)
+
+// Scripted-client plane: litmus workloads drive the checker with the same
+// per-node operation scripts the simulator runs, so one .lit scenario is
+// explored exhaustively (every interleaving of client steps, deliveries,
+// and faults) and its terminal states are judged against the simulator's
+// observed outcomes. The plane mirrors internal/tempest's processor model
+// op for op: an operation that the node's current access mode satisfies
+// completes immediately; otherwise it raises the matching fault event and
+// stalls the node until the protocol's WakeUp, which re-attempts the
+// completion exactly as the tempest machine does. Block contents use the
+// same packed version words (tempest.PackVal), so data messages, the
+// monotone stale-discard rule, and the oracle all behave identically.
+//
+// Everything here is gated on Config.Client: without one, worlds carry no
+// client state, encodings are byte-identical to previous releases, and
+// RecvDataMsg degrades to the plain access change RecvData makes.
+
+// ClientOpKind classifies a scripted client operation.
+type ClientOpKind uint8
+
+// Scripted client operations.
+const (
+	ClientGet ClientOpKind = iota // load; the observed value is recorded
+	ClientPut                     // store of Val
+	ClientCAS                     // compare-and-swap: record observed, store Val if it equals Expect
+)
+
+func (k ClientOpKind) String() string {
+	switch k {
+	case ClientGet:
+		return "get"
+	case ClientPut:
+		return "put"
+	case ClientCAS:
+		return "cas"
+	}
+	return "op?"
+}
+
+// ClientOp is one scripted operation.
+type ClientOp struct {
+	Kind   ClientOpKind
+	Block  int
+	Val    int64 // Put/CAS store value (32-bit)
+	Expect int64 // CAS comparison value
+}
+
+// Client is a scripted workload for the checker: one operation sequence
+// per node, plus initial block values. Build with NewClient, which
+// resolves the protocol's fault events once.
+type Client struct {
+	Programs [][]ClientOp
+	InitMem  []int64 // raw initial value per block (version 0)
+
+	rdTag, wrTag, wrroTag int
+}
+
+// NewClient builds a Client for proto. The protocol must declare the
+// processor-fault events a script could raise (RD_FAULT for gets, WR_FAULT
+// for puts and CASes; WR_RO_FAULT is used when declared and the faulting
+// node holds the block read-only).
+func NewClient(proto *runtime.Protocol, programs [][]ClientOp, initMem []int64) (*Client, error) {
+	c := &Client{
+		Programs: programs,
+		InitMem:  initMem,
+		rdTag:    proto.MsgIndex("RD_FAULT"),
+		wrTag:    proto.MsgIndex("WR_FAULT"),
+		wrroTag:  proto.MsgIndex("WR_RO_FAULT"),
+	}
+	for _, prog := range programs {
+		for _, op := range prog {
+			if op.Kind == ClientGet && c.rdTag < 0 {
+				return nil, fmt.Errorf("mc: client script reads but protocol declares no RD_FAULT")
+			}
+			if op.Kind != ClientGet && c.wrTag < 0 {
+				return nil, fmt.Errorf("mc: client script writes but protocol declares no WR_FAULT")
+			}
+		}
+	}
+	return c, nil
+}
+
+// program returns node's script (empty when the script declares fewer
+// nodes than the machine has).
+func (c *Client) program(node int) []ClientOp {
+	if node >= len(c.Programs) {
+		return nil
+	}
+	return c.Programs[node]
+}
+
+// initClient installs the client plane on a fresh world.
+func (w *World) initClient(c *Client) {
+	nodes, blocks := w.cfg.Nodes, w.cfg.Blocks
+	w.pcs = make([]int, nodes)
+	w.regs = make([][]int64, nodes)
+	w.cver = make([]int64, blocks)
+	w.cmem = make([]int64, nodes*blocks)
+	for b, v := range c.InitMem {
+		if b >= blocks {
+			break
+		}
+		for n := 0; n < nodes; n++ {
+			w.cmem[n*blocks+b] = tempest.PackVal(0, v)
+		}
+	}
+}
+
+// clientAccessOK mirrors tempest's accessOK for client operations.
+func clientAccessOK(kind ClientOpKind, acc sema.AccessMode) bool {
+	switch acc {
+	case sema.AccReadWrite:
+		return true
+	case sema.AccReadOnly:
+		return kind == ClientGet
+	case sema.AccBuffered:
+		return kind == ClientPut
+	}
+	return false
+}
+
+// clientFaultTag mirrors tempest's faultTag.
+func (c *Client) clientFaultTag(kind ClientOpKind, acc sema.AccessMode) int {
+	if kind == ClientGet {
+		return c.rdTag
+	}
+	if acc == sema.AccReadOnly && c.wrroTag >= 0 {
+		return c.wrroTag
+	}
+	return c.wrTag
+}
+
+// clientComplete performs node's current operation (the access mode has
+// already been checked) and advances its program counter.
+func (w *World) clientComplete(node int, op ClientOp) {
+	blocks := w.cfg.Blocks
+	switch op.Kind {
+	case ClientGet:
+		w.regs[node] = append(w.regs[node], w.cmem[node*blocks+op.Block])
+	case ClientPut:
+		w.clientStore(node, op)
+	case ClientCAS:
+		observed := w.cmem[node*blocks+op.Block]
+		w.regs[node] = append(w.regs[node], observed)
+		if tempest.ValueOf(observed) == op.Expect {
+			w.clientStore(node, op)
+		}
+	}
+	w.pcs[node]++
+}
+
+// clientStore commits a store: a fresh global version of the block with
+// the operation's value packed in, installed in the node's copy.
+func (w *World) clientStore(node int, op ClientOp) {
+	w.cver[op.Block]++
+	w.cmem[node*w.cfg.Blocks+op.Block] = tempest.PackVal(w.cver[op.Block], op.Val)
+}
+
+// clientStep attempts node's next scripted operation: complete it if the
+// node's access mode allows, otherwise raise the matching fault event and
+// stall the node (the protocol's WakeUp resumes it via clientWake).
+func (w *World) clientStep(node int) error {
+	c := w.cfg.Client
+	op := c.program(node)[w.pcs[node]]
+	acc := w.Access(node, op.Block)
+	if clientAccessOK(op.Kind, acc) {
+		w.clientComplete(node, op)
+		return nil
+	}
+	tag := c.clientFaultTag(op.Kind, acc)
+	if tag < 0 {
+		return fmt.Errorf("mc: no fault event for client op %v under access %v", op.Kind, acc)
+	}
+	w.stalled[node] = op.Block
+	if err := w.engines[node].InjectEvent(tag, op.Block); err != nil {
+		return err
+	}
+	return w.sendErr
+}
+
+// clientWake re-attempts the faulted operation when the protocol wakes the
+// stalled node, mirroring tempest's WakeUp: the access is satisfied
+// atomically with the wakeup when the granted permission allows it, and a
+// faulted put completing with read-only access counts as performed by the
+// protocol (the write-through discipline). A CAS gets no such exception —
+// if the wakeup leaves the block below read-write the program counter
+// stays put and the operation refaults on its next client action.
+func (w *World) clientWake(node, id int) {
+	if w.pcs == nil {
+		return
+	}
+	prog := w.cfg.Client.program(node)
+	if w.pcs[node] >= len(prog) {
+		return
+	}
+	op := prog[w.pcs[node]]
+	if op.Block != id {
+		return
+	}
+	acc := w.Access(node, op.Block)
+	if clientAccessOK(op.Kind, acc) ||
+		(op.Kind == ClientPut && acc == sema.AccReadOnly) {
+		w.clientComplete(node, op)
+	}
+}
+
+// ClientDone reports whether every node has finished its script (false
+// when no client is attached).
+func (w *World) ClientDone() bool {
+	if w.pcs == nil {
+		return false
+	}
+	for n, pc := range w.pcs {
+		if pc < len(w.cfg.Client.program(n)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ClientRegs returns each node's observed values (gets and CASes, in
+// program order), as packed version words.
+func (w *World) ClientRegs() [][]int64 {
+	out := make([][]int64, len(w.regs))
+	for n, r := range w.regs {
+		out[n] = append([]int64(nil), r...)
+	}
+	return out
+}
+
+// ClientFinal returns the final packed value of each block: the newest
+// copy any node holds, which is the value of the block's latest completed
+// store (copies only ever move forward, so the writer's own copy is the
+// maximum until newer data displaces it).
+func (w *World) ClientFinal() []int64 {
+	out := make([]int64, w.cfg.Blocks)
+	for b := 0; b < w.cfg.Blocks; b++ {
+		max := int64(0)
+		for n := 0; n < w.cfg.Nodes; n++ {
+			if v := w.cmem[n*w.cfg.Blocks+b]; v > max {
+				max = v
+			}
+		}
+		out[b] = max
+	}
+	return out
+}

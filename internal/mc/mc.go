@@ -59,6 +59,22 @@ type Config struct {
 
 	Events EventGen
 
+	// Client, when non-nil, attaches a scripted litmus workload: each node
+	// runs its Client program as enumerated client actions (see client.go)
+	// instead of — or alongside — Events-generated processor events. Client
+	// state (program counters, observed values, block contents) joins the
+	// canonical encoding, so two worlds whose clients have diverged are
+	// distinct states.
+	Client *Client
+
+	// Terminal, when non-nil (requires Client), is called on every state
+	// where all scripts have finished, no processor is stalled, and the
+	// network is drained. A non-empty return is reported as a violation of
+	// kind "litmus" with the returned message and the trace leading to the
+	// terminal state — the hook litmus harnesses judge forbidden final
+	// states with. With Workers > 1 it must be safe for concurrent use.
+	Terminal func(*World) string
+
 	MaxStates  int // 0 = unlimited
 	ChannelCap int // default 12
 	QueueCap   int // default 8
@@ -266,6 +282,16 @@ type World struct {
 	dups     int
 	corrupts int
 
+	// Scripted-client plane (Config.Client; see client.go). nil without a
+	// client, in which case none of it is encoded. pcs is each node's next
+	// script position, regs the values its completed gets/CASes observed,
+	// cver the per-block store counter, cmem each node's packed copy of
+	// each block ([node*Blocks+block], tempest.PackVal words).
+	pcs  []int
+	regs [][]int64
+	cver []int64
+	cmem []int64
+
 	// obsSink, when non-nil, receives the world's fault events (Drop/Dup,
 	// in the simulator's emission shape) and is attached to every engine.
 	// Set from Config.Obs for replay worlds, or per-clone by the checker's
@@ -361,6 +387,9 @@ func (w *World) Send(from, dst int, m *runtime.Message) {
 		w.sendErr = fmt.Errorf("send to invalid node %d", dst)
 		return
 	}
+	if w.cmem != nil && m.Data && m.ID >= 0 && m.ID < w.cfg.Blocks {
+		m.Val = w.cmem[from*w.cfg.Blocks+m.ID]
+	}
 	ch := from*w.cfg.Nodes + dst
 	w.channels[ch] = append(w.channels[ch], m)
 }
@@ -373,9 +402,25 @@ func (w *World) RecvData(node, id int, mode sema.AccessMode) {
 	w.access[node*w.cfg.Blocks+id] = mode
 }
 
+// RecvDataMsg implements runtime.DataMachine: the access change RecvData
+// would make, plus — with a scripted client attached — installing the
+// message's transported block value under the same monotone stale-discard
+// rule the tempest machine applies. Without a client it is exactly
+// RecvData.
+func (w *World) RecvDataMsg(node, id int, mode sema.AccessMode, msg *runtime.Message) {
+	w.access[node*w.cfg.Blocks+id] = mode
+	if w.cmem == nil || id < 0 || id >= w.cfg.Blocks {
+		return
+	}
+	if cur := w.cmem[node*w.cfg.Blocks+id]; msg.Val > cur {
+		w.cmem[node*w.cfg.Blocks+id] = msg.Val
+	}
+}
+
 func (w *World) WakeUp(node, id int) {
 	if w.stalled[node] == id {
 		w.stalled[node] = -1
+		w.clientWake(node, id)
 	}
 }
 
@@ -397,6 +442,9 @@ func newWorld(cfg *Config) *World {
 	}
 	for b := 0; b < cfg.Blocks; b++ {
 		w.access[cfg.HomeOf(b)*cfg.Blocks+b] = sema.AccReadWrite
+	}
+	if cfg.Client != nil {
+		w.initClient(cfg.Client)
 	}
 	if cfg.Obs != nil {
 		w.setObs(cfg.Obs)
@@ -431,6 +479,23 @@ func (w *World) encode() (string, error) {
 	enc.Int(int64(w.drops))
 	enc.Int(int64(w.dups))
 	enc.Int(int64(w.corrupts))
+	if w.pcs != nil {
+		for _, pc := range w.pcs {
+			enc.Int(int64(pc))
+		}
+		for _, r := range w.regs {
+			enc.Int(int64(len(r)))
+			for _, v := range r {
+				enc.Int(v)
+			}
+		}
+		for _, v := range w.cver {
+			enc.Int(v)
+		}
+		for _, v := range w.cmem {
+			enc.Int(v)
+		}
+	}
 	return string(enc.Bytes()), nil
 }
 
@@ -463,6 +528,24 @@ func (cfg *Config) decode(key string) (*World, error) {
 	w.drops = int(d.Int())
 	w.dups = int(d.Int())
 	w.corrupts = int(d.Int())
+	if w.pcs != nil {
+		for i := range w.pcs {
+			w.pcs[i] = int(d.Int())
+		}
+		for n := range w.regs {
+			cnt := int(d.Int())
+			w.regs[n] = nil
+			for i := 0; i < cnt; i++ {
+				w.regs[n] = append(w.regs[n], d.Int())
+			}
+		}
+		for i := range w.cver {
+			w.cver[i] = d.Int()
+		}
+		for i := range w.cmem {
+			w.cmem[i] = d.Int()
+		}
+	}
 	return w, nil
 }
 
@@ -476,6 +559,7 @@ const (
 	actDup             // insert a copy right behind the original
 	actCorrupt         // bounce back to the sender as a NACK
 	actEvent
+	actClient // the node's scripted client attempts its next operation
 	actTimeout
 )
 
@@ -521,6 +605,10 @@ func (w *World) describe(a action) string {
 	case actTimeout:
 		return fmt.Sprintf("TIMEOUT blk%d at node%d [state %s]",
 			a.block, a.node, w.StateName(a.node, a.block))
+	case actClient:
+		op := w.cfg.Client.program(a.node)[w.pcs[a.node]]
+		return fmt.Sprintf("client %v blk%d at node%d [access %v]",
+			op.Kind, op.Block, a.node, w.Access(a.node, op.Block))
 	}
 	return fmt.Sprintf("event %s blk%d at node%d [state %s]",
 		a.event.Name, a.block, a.node, w.StateName(a.node, a.block))
@@ -574,6 +662,14 @@ func (w *World) actions() []action {
 				for _, ev := range w.cfg.Events.Enabled(w, n, b) {
 					out = append(out, action{kind: actEvent, node: n, block: b, event: ev})
 				}
+			}
+		}
+	}
+	if w.cfg.Client != nil {
+		for n := 0; n < w.cfg.Nodes; n++ {
+			if w.stalled[n] < 0 && w.pcs[n] < len(w.cfg.Client.program(n)) {
+				out = append(out, action{kind: actClient, node: n,
+					block: w.cfg.Client.program(n)[w.pcs[n]].Block})
 			}
 		}
 	}
@@ -683,6 +779,8 @@ func (w *World) apply(a action) error {
 			return err
 		}
 		return w.sendErr
+	case actClient:
+		return w.clientStep(a.node)
 	}
 	if a.event.Stalls {
 		w.stalled[a.node] = a.block
@@ -759,6 +857,15 @@ func (w *World) clone() (*World, error) {
 		drops:    w.drops,
 		dups:     w.dups,
 		corrupts: w.corrupts,
+	}
+	if w.pcs != nil {
+		nw.pcs = append([]int(nil), w.pcs...)
+		nw.cver = append([]int64(nil), w.cver...)
+		nw.cmem = append([]int64(nil), w.cmem...)
+		nw.regs = make([][]int64, len(w.regs))
+		for n, r := range w.regs {
+			nw.regs[n] = append([]int64(nil), r...)
+		}
 	}
 	nw.engines = make([]*runtime.Engine, len(w.engines))
 	for i, e := range w.engines {

@@ -153,6 +153,9 @@ func buildReduction(cfg *Config) (*reduction, string, error) {
 	if cfg.Codec != nil {
 		return refuse("the protocol snapshots abstract values the checker cannot permute")
 	}
+	if cfg.Client != nil {
+		return refuse("a scripted litmus client pins node and block identities")
+	}
 	if cfg.Nodes > maxSymmetryDim || cfg.Blocks > maxSymmetryDim {
 		return refuse("%d nodes / %d blocks exceeds the permutation enumeration bound (%d)",
 			cfg.Nodes, cfg.Blocks, maxSymmetryDim)

@@ -8,12 +8,14 @@ import "fmt"
 // ReplaySteps and the fuzz package's differential harness).
 type Step struct {
 	// Kind is one of "deliver", "drop", "dup", "corrupt", "timeout",
-	// "event".
+	// "event", "client".
 	Kind string
 	// From, To, Idx locate the message for the channel kinds (deliver,
 	// drop, dup, corrupt): position Idx within the From->To channel.
 	From, To, Idx int
-	// Node, Block locate the processor for "timeout" and "event".
+	// Node, Block locate the processor for "timeout", "event", and
+	// "client" (a client step is the node's next scripted operation, so
+	// Node alone identifies it; Block is informational).
 	Node, Block int
 	// Event is the event name for Kind "event".
 	Event string
@@ -28,6 +30,8 @@ func (s Step) String() string {
 		return fmt.Sprintf("%s %s node%d->node%d[%d]", s.Kind, s.Msg, s.From, s.To, s.Idx)
 	case "timeout":
 		return fmt.Sprintf("timeout blk%d node%d", s.Block, s.Node)
+	case "client":
+		return fmt.Sprintf("client blk%d node%d", s.Block, s.Node)
 	}
 	return fmt.Sprintf("event %s blk%d node%d", s.Event, s.Block, s.Node)
 }
@@ -47,6 +51,9 @@ func (w *World) step(a action) Step {
 		st.Kind = "corrupt"
 	case actTimeout:
 		st.Kind = "timeout"
+		return st
+	case actClient:
+		st.Kind = "client"
 		return st
 	default:
 		st.Kind = "event"
@@ -75,6 +82,10 @@ func (w *World) resolveStep(st Step) (action, error) {
 			}
 		case "event":
 			if cand.Kind == "event" && cand.Node == st.Node && cand.Block == st.Block && cand.Event == st.Event {
+				return a, nil
+			}
+		case "client":
+			if cand.Kind == "client" && cand.Node == st.Node {
 				return a, nil
 			}
 		}

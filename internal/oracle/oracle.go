@@ -58,6 +58,19 @@ type Config struct {
 	// the machine's initial access map: the home starts read-write.
 	HomeOf func(id int) int
 	Inv    Invariants
+
+	// InitMem mirrors the machine's initial block values (litmus runs;
+	// see tempest.Config.InitMem): InitMem[b] is version 0 of block b, so
+	// a read completing before any write legally observes it instead of
+	// tripping ReadLatest. Values are version-0 packed words — for 32-bit
+	// values those are the values themselves (tempest.PackVal(0, v) == v).
+	InitMem []int64
+
+	// TrackReads records every completed read's observed value per node,
+	// in completion order — the litmus harness reads them back as the
+	// scripted workload's register file (Reads) and judges the final state
+	// (FinalValue) as its expected/forbidden-outcome invariant profile.
+	TrackReads bool
 }
 
 // Violation is the first invariant failure observed, with the violating
@@ -124,6 +137,7 @@ type Checker struct {
 	version []int64           // per block: latest completed write
 	writer  []int32           // per block: node of latest write (-1 none)
 	dirty   []bool            // per block: access map changed since last SWMR eval
+	reads   [][]int64         // per node: observed read values (Config.TrackReads)
 
 	ring []obs.Event
 	seq  int64
@@ -147,6 +161,20 @@ func New(cfg Config) *Checker {
 	for b := 0; b < cfg.Blocks; b++ {
 		c.access[cfg.HomeOf(b)*cfg.Blocks+b] = sema.AccReadWrite
 		c.writer[b] = -1
+	}
+	for b, v := range cfg.InitMem {
+		if b >= cfg.Blocks {
+			break
+		}
+		// Version 0 of the block: the latest "write" until a real one, held
+		// by every node's copy (mirroring the machine's InitMem install).
+		c.version[b] = v
+		for n := 0; n < cfg.Nodes; n++ {
+			c.mem[n*cfg.Blocks+b] = v
+		}
+	}
+	if cfg.TrackReads {
+		c.reads = make([][]int64, cfg.Nodes)
 	}
 	return c
 }
@@ -257,6 +285,9 @@ func (c *Checker) checkSWMR(block int, at obs.Event) {
 
 func (c *Checker) checkRead(ev obs.Event) {
 	node, block := int(ev.Node), int(ev.Block)
+	if c.reads != nil {
+		c.reads[node] = append(c.reads[node], ev.Arg)
+	}
 	mode := c.access[node*c.cfg.Blocks+block]
 	if mode != sema.AccReadOnly && mode != sema.AccReadWrite {
 		c.fail("swmr", node, block, ev,
@@ -327,6 +358,21 @@ func (c *Checker) survives(b int) bool {
 	}
 	return false
 }
+
+// Reads returns the values node's completed reads observed, in completion
+// order (Config.TrackReads; nil otherwise). The returned slice is the
+// checker's own — callers must not mutate it.
+func (c *Checker) Reads(node int) []int64 {
+	if c.reads == nil {
+		return nil
+	}
+	return c.reads[node]
+}
+
+// FinalValue returns the packed value of block b's latest completed write
+// (the initial value if b was never written) — the run's final memory
+// image for litmus outcome judging.
+func (c *Checker) FinalValue(b int) int64 { return c.version[b] }
 
 func (c *Checker) fail(inv string, node, block int, at obs.Event, detail string) {
 	ctx := make([]obs.Event, len(c.ring))

@@ -181,6 +181,7 @@ func (e *Engine) EncodeMessage(enc *Encoder, m *Message, codec AbstractCodec) er
 	} else {
 		enc.Byte(0)
 	}
+	enc.Int(m.Val)
 	enc.Int(int64(len(m.Payload)))
 	for _, v := range m.Payload {
 		if err := e.EncodeValue(enc, v, codec); err != nil {
@@ -194,6 +195,7 @@ func (e *Engine) EncodeMessage(enc *Encoder, m *Message, codec AbstractCodec) er
 func (e *Engine) DecodeMessage(d *Decoder, codec AbstractCodec) (*Message, error) {
 	m := &Message{Tag: int(d.Int()), ID: int(d.Int()), Src: int(d.Int())}
 	m.Data = d.Byte() == 1
+	m.Val = d.Int()
 	n := int(d.Int())
 	block := e.Blocks[m.ID]
 	for i := 0; i < n; i++ {

@@ -25,10 +25,12 @@ type Message struct {
 	Payload []vm.Value
 	Data    bool // message carries the block's data
 
-	// Val is the modeled data version a data-carrying message transports
+	// Val is the modeled data value a data-carrying message transports
 	// (stamped by machines that model block contents — the Tempest machine
-	// under sim.Config.ObsMemory). Like flow it is advisory instrumentation:
-	// not part of the canonical encoding, never read by protocol code.
+	// under sim.Config.ObsMemory, and the checker's World when a scripted
+	// litmus client is attached). Never read by protocol code, but part of
+	// the canonical encoding: two checker states whose in-flight data
+	// messages carry different values are different states.
 	Val int64
 
 	// flow correlates a Send event with the Deliver of the same message in

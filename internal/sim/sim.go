@@ -45,6 +45,10 @@ type Config struct {
 	// the memory events internal/oracle judges.
 	ObsMemory bool
 
+	// InitMem gives blocks initial values under ObsMemory (litmus
+	// workloads; see tempest.Config.InitMem).
+	InitMem []int64
+
 	// MaxEvents caps the run's event budget (0 = tempest's default). The
 	// fuzzer sets a small budget so a livelocked schedule returns an error
 	// instead of spinning toward the 100M-event safety net.
@@ -77,6 +81,7 @@ func Run(cfg Config) (*tempest.Stats, error) {
 
 		Sched:     cfg.Sched,
 		ObsMemory: cfg.ObsMemory,
+		InitMem:   cfg.InitMem,
 		MaxEvents: cfg.MaxEvents,
 	}
 	m := tempest.New(tc)

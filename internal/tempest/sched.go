@@ -244,13 +244,19 @@ func (m *Machine) noteRead(node, addr int) {
 // noteWrite records a completed store: a fresh version of the block now
 // lives in the node's copy. protocolPerformed marks stores the protocol
 // made on the processor's behalf (a faulted write completing with
-// read-only access — the write-through discipline).
-func (m *Machine) noteWrite(node, addr int, protocolPerformed bool) {
+// read-only access — the write-through discipline). val, when nonzero, is
+// the value the store wrote (litmus workloads): it rides in the low bits
+// of the version word (PackVal), so the monotone stale-discard comparison
+// in RecvDataMsg keeps ordering by version.
+func (m *Machine) noteWrite(node, addr int, protocolPerformed bool, val int64) {
 	if m.mem == nil {
 		return
 	}
 	m.version[addr]++
 	v := m.version[addr]
+	if val != 0 {
+		v = PackVal(v, val)
+	}
 	m.mem[node*m.cfg.Blocks+addr] = v
 	if m.obs != nil {
 		site := int32(0)
@@ -262,14 +268,40 @@ func (m *Machine) noteWrite(node, addr int, protocolPerformed bool) {
 	}
 }
 
-// noteOp records a completed read or write access.
+// noteOp records a completed read, write, or compare-and-swap access. A
+// CAS first observes the node's copy (emitted as a read, like any load),
+// then stores only if the observed value matches op.Expect.
 func (m *Machine) noteOp(node int, op *Op, protocolPerformed bool) {
 	if m.mem == nil {
 		return
 	}
-	if op.Kind == OpRead {
+	switch op.Kind {
+	case OpRead:
 		m.noteRead(node, op.Addr)
-	} else if op.Kind == OpWrite {
-		m.noteWrite(node, op.Addr, protocolPerformed)
+	case OpWrite:
+		m.noteWrite(node, op.Addr, protocolPerformed, op.Val)
+	case OpCAS:
+		observed := m.mem[node*m.cfg.Blocks+op.Addr]
+		m.noteRead(node, op.Addr)
+		if ValueOf(observed) == op.Expect {
+			m.noteWrite(node, op.Addr, protocolPerformed, op.Val)
+		}
 	}
 }
+
+// ---- value packing (litmus workloads) ----
+//
+// The version model orders block copies by a monotonically increasing
+// version number. Litmus workloads additionally need concrete values; they
+// ride in the low 32 bits of the same word with the version above them, so
+// every monotone version comparison (stale-data discard, oracle checks)
+// keeps working unchanged while the value stays recoverable at the end.
+
+// PackVal packs a version and a 32-bit value into one version word.
+func PackVal(version, val int64) int64 { return version<<32 | (val & 0xffffffff) }
+
+// ValueOf extracts the value from a packed version word.
+func ValueOf(packed int64) int64 { return packed & 0xffffffff }
+
+// VersionOf extracts the version from a packed version word.
+func VersionOf(packed int64) int64 { return packed >> 32 }

@@ -164,13 +164,27 @@ const (
 	OpBeginPhase               // LCM phase entry
 	OpEndPhase                 // LCM phase exit
 	OpBarrier                  // application barrier (all nodes rendezvous)
+	OpCAS                      // atomic compare-and-swap (litmus workloads)
+	// OpYield advances the node clock by Cycles like Compute, then yields
+	// to the event queue, so deliveries timestamped before the node's new
+	// time run first. Compute deliberately does not yield (the processor
+	// model executes straight-line code without re-synchronizing against
+	// the network); litmus jitter uses Yield so phase-shifting a script
+	// actually reorders its accesses against in-flight protocol traffic.
+	OpYield
 )
 
 // Op is one workload operation.
 type Op struct {
 	Kind   OpKind
-	Addr   int   // block, for Read/Write/Evict
+	Addr   int   // block, for Read/Write/Evict/CAS
 	Cycles int64 // for Compute
+	// Val is the value a Write or CAS stores (litmus workloads; 0 = the
+	// plain version model, where a store is just "a fresh version").
+	Val int64
+	// Expect is the value a CAS requires the block to hold for its store
+	// to take effect. The observed value is recorded either way.
+	Expect int64
 }
 
 // Program supplies each node's operation stream.
@@ -210,6 +224,12 @@ type Config struct {
 	// for the coherence oracle. Off by default — large workloads emit one
 	// event per access.
 	ObsMemory bool
+
+	// InitMem gives blocks initial values under ObsMemory (litmus
+	// workloads): InitMem[b] is installed as version 0 of block b in every
+	// node's copy, so a read that completes before any store observes it.
+	// Values must fit 32 bits (see PackVal).
+	InitMem []int64
 }
 
 // Stats summarizes a run.
@@ -339,6 +359,14 @@ func New(cfg Config) *Machine {
 	if cfg.ObsMemory {
 		m.mem = make([]int64, cfg.Nodes*cfg.Blocks)
 		m.version = make([]int64, cfg.Blocks)
+		for b, v := range cfg.InitMem {
+			if b >= cfg.Blocks {
+				break
+			}
+			for n := 0; n < cfg.Nodes; n++ {
+				m.mem[n*cfg.Blocks+b] = PackVal(0, v)
+			}
+		}
 	}
 	for n := range m.stalledOn {
 		m.stalledOn[n] = -1
@@ -480,12 +508,16 @@ func (m *Machine) WakeUp(node, id int) {
 	if m.nodeTime[node] < m.now {
 		m.nodeTime[node] = m.now
 	}
-	if op := m.pendingOp[node]; op != nil && (op.Kind == OpRead || op.Kind == OpWrite) {
+	if op := m.pendingOp[node]; op != nil &&
+		(op.Kind == OpRead || op.Kind == OpWrite || op.Kind == OpCAS) {
 		acc := m.Access(node, op.Addr)
 		// A wakeup on a faulted *write* that leaves the block read-only
 		// means the protocol performed the store on the processor's
 		// behalf (write-through/update protocols do exactly that in the
-		// fault handler); re-faulting would retry forever.
+		// fault handler); re-faulting would retry forever. CAS gets no
+		// such exception: its read-modify-write is only atomic with the
+		// block held read-write, so it is unsupported on write-through
+		// and buffered protocols.
 		ok := accessOK(op.Kind, acc) ||
 			(op.Kind == OpWrite && acc == sema.AccReadOnly)
 		if ok {
@@ -625,7 +657,11 @@ func (m *Machine) step(node int) {
 		switch op.Kind {
 		case OpCompute:
 			m.nodeTime[node] += op.Cycles
-		case OpRead, OpWrite:
+		case OpYield:
+			m.nodeTime[node] += op.Cycles
+			m.schedule(&event{at: m.nodeTime[node], kind: 1, node: node})
+			return
+		case OpRead, OpWrite, OpCAS:
 			acc := m.Access(node, op.Addr)
 			if accessOK(op.Kind, acc) {
 				m.stats.Accesses++

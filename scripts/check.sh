@@ -140,3 +140,61 @@ PY
 m = json.load(sys.stdin)
 assert m["tool"] == "teapot-verify" and m["mc"]["states"] > 0 and m["coverage"]["dispatch"]
 print("teapot-verify -json manifest validates")'
+# Litmus corpus: the committed scenario shapes must run clean under all
+# three substrates (the sim/fuzz outcome sets must be contained in the
+# exhaustive checker's), and the negative-path corpus must FAIL — exit 2
+# with a named swmr violation and a deadlock, each shrunk to a
+# <=10-decision reproducer that replays from its on-disk artifact. Built
+# binary for the same exit-code reason as above.
+litmusbin="$(mktemp -t teapot-litmus.XXXXXX)"
+litrepro="$(mktemp -t teapot-lit-repro.XXXXXX.json)"
+litman="$(mktemp -t teapot-lit-man.XXXXXX.json)"
+trap 'rm -f "$tmptrace" "$verifybin" "$fuzzbin" "$repro" "$coverbin" "$mcman" "$fuzzman" "$litmusbin" "$litrepro" "$litman"' EXIT
+go build -o "$litmusbin" ./cmd/teapot-litmus
+"$litmusbin" -mode all >/dev/null
+rc=0
+litout="$("$litmusbin" -corpus testdata/litmus/fail -mode all -out "$litrepro")" || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "check.sh: litmus fail corpus should exit 2, got $rc" >&2
+  exit 1
+fi
+for want in swmr deadlock; do
+  case "$litout" in
+    *"$want"*) ;;
+    *) echo "check.sh: litmus fail-corpus output lacks '$want':" >&2
+       printf '%s\n' "$litout" >&2; exit 1 ;;
+  esac
+done
+printf '%s\n' "$litout" | sed -n 's/^ *minimal reproducer: \([0-9]*\) decision(s)$/\1/p' \
+  | while read -r d; do
+      if [ "$d" -gt 10 ]; then
+        echo "check.sh: litmus reproducer should shrink to <=10 decisions, got $d" >&2
+        exit 1
+      fi
+    done
+rc=0
+"$litmusbin" -corpus testdata/litmus/fail -replay "$litrepro" >/dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "check.sh: saved litmus reproducer should replay to exit 2, got $rc" >&2
+  exit 1
+fi
+# The litmus run manifest rides the shared schema; diffing it against the
+# exhaustive verify manifest is informational (a 2-node scripted scenario
+# exercises a fraction of the 3-node surface), and the static coverage
+# gate above must stay green on the same teapot-cover build.
+"$litmusbin" -only sb -mode all -report "$litman" >/dev/null
+python3 - "$litman" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+assert m["manifest_version"] == 1 and m["tool"] == "teapot-litmus"
+assert m["litmus"]["tests"] == 1 and m["litmus"]["failed"] == 0
+assert m["litmus"]["mc_states"] > 0 and m["coverage"]["dispatch"]
+print("litmus run manifest validates")
+PY
+"$coverbin" "$mcman" "$litman" >/dev/null
+# Litmus + reproducer regression suites, explicitly under the race
+# detector: the differential harness end-to-end and the committed
+# testdata/repro artifacts (byte-identical replays, mc cross-check).
+go test -race -count=1 -run 'TestRunMPAllSubstratesAgree|TestRunForbiddenReachable|TestReproCorpusReplays' \
+  ./internal/litmus/ ./internal/fuzz/
